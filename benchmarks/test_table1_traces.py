@@ -1,0 +1,69 @@
+"""Table I: evaluation trace features.
+
+Regenerates the paper's Table I for the synthetic analogues: total /
+reference / candidate durations, encryption, and the number of
+reference devices produced by the 50-observation rule.  Absolute
+device counts are smaller than the paper's (the datasets are
+time-scaled; see DESIGN.md), so the column to compare is the *ratio*
+structure: conference > office populations, long > short traces.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plots import render_table
+from repro.traces.stats import summarize_trace
+
+from benchmarks.conftest import DATASET_ORDER, PAPER_TABLE1_REFS
+
+
+def test_table1_trace_features(datasets, benchmark):
+    rows = []
+    stats_by_name = {}
+    for name in DATASET_ORDER:
+        trace, training_s = datasets[name]
+        stats = summarize_trace(trace, training_s)
+        stats_by_name[name] = stats
+        rows.append(
+            (
+                name,
+                f"{stats.total_duration_s / 60:.0f} min",
+                f"{stats.training_duration_s / 60:.0f} min",
+                f"{stats.candidate_duration_s / 60:.0f} min",
+                stats.encryption_label,
+                stats.reference_devices,
+                PAPER_TABLE1_REFS[name],
+                stats.total_frames,
+            )
+        )
+    print()
+    print(
+        render_table(
+            [
+                "trace",
+                "total",
+                "ref dur",
+                "cand dur",
+                "encryption",
+                "# ref devices",
+                "paper # refs",
+                "frames",
+            ],
+            rows,
+            title="Table I: evaluation trace features (scaled reproduction)",
+        )
+    )
+
+    # Structural checks mirroring the paper's setup.
+    assert stats_by_name["conference1"].encryption_label == "None"
+    assert stats_by_name["office1"].encryption_label == "WPA"
+    assert (
+        stats_by_name["conference1"].reference_devices
+        >= stats_by_name["office1"].reference_devices
+    )
+
+    # Benchmark the Table I kernel: reference-database construction.
+    trace, training_s = datasets["office2"]
+    result = benchmark.pedantic(
+        summarize_trace, args=(trace, training_s), rounds=1, iterations=1
+    )
+    assert result.reference_devices > 0

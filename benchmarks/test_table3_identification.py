@@ -1,0 +1,58 @@
+"""Table III: identification ratios at FPR budgets 0.01 and 0.1.
+
+Prints the 10×4 matrix (5 parameters × 2 FPR budgets × 4 traces) next
+to the paper's numbers and asserts the headline shape: identification
+is much easier in the office traces; the transmission rate identifies
+(almost) nothing in the conference; timing parameters dominate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plots import render_table
+from repro.core.parameters import ALL_PARAMETERS
+
+from benchmarks.conftest import DATASET_ORDER, PAPER_TABLE3
+
+
+def test_table3_identification_ratios(eval_cache, benchmark):
+    rows = []
+    measured: dict[tuple[str, str, float], float] = {}
+    for parameter in ALL_PARAMETERS:
+        for fpr in (0.01, 0.1):
+            row = [f"{parameter.label}, {fpr}"]
+            for dataset in DATASET_ORDER:
+                result = eval_cache.get(dataset, parameter.name)
+                ratio = result.identification_at(fpr) * 100
+                measured[(dataset, parameter.name, fpr)] = ratio
+                paper = PAPER_TABLE3[(dataset, parameter.name, fpr)]
+                row.append(f"{ratio:.1f} ({paper:.1f})")
+            rows.append(row)
+    print()
+    print(
+        render_table(
+            ["parameter, FPR", *(f"{d} ours(paper)%" for d in DATASET_ORDER)],
+            rows,
+            title="Table III: identification ratios, measured (paper)",
+        )
+    )
+
+    # Shape: the rate identifies nothing on the conference traces.
+    assert measured[("conference1", "rate", 0.1)] <= 5.0
+
+    # Shape: office identification beats conference for the timing
+    # parameters (the paper's central difficulty gradient).
+    for name in ("txtime", "interarrival", "access"):
+        assert (
+            measured[("office1", name, 0.1)]
+            >= measured[("conference1", name, 0.1)]
+        )
+
+    # Shape: in the office, timing parameters identify a substantial
+    # fraction of devices at FPR 0.1 (paper: 41-60%).
+    assert measured[("office1", "txtime", 0.1)] > 30.0
+    assert measured[("office1", "interarrival", 0.1)] > 30.0
+
+    # Benchmark the identification sweep kernel.
+    result = eval_cache.get("office2", "interarrival")
+    ratio = benchmark(result.identification_at, 0.1)
+    assert 0.0 <= ratio <= 1.0

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Tracking devices across MAC randomisation (paper Section VII-B3).
+
+The paper's privacy warning: "the generated signature may be used to
+trace a user's locations, even in cases where the device regularly
+changes its MAC address in order to stay anonymous."
+
+Here three devices are first observed under their real addresses; in
+later observation windows each presents a fresh randomised
+(locally-administered) MAC per window.  The tracker links the
+pseudonyms back to the learnt signatures.
+
+Run:  python examples/tracking_mac_randomization.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.applications import DeviceTracker, spoof_mac
+from repro.simulator import CbrTraffic, Scenario, StationSpec, WebTraffic
+
+
+def main() -> None:
+    scenario = Scenario(duration_s=240.0, seed=47, encrypted=True)
+    profiles_and_traffic = [
+        ("intel-2200bg-linux", [CbrTraffic(interval_ms=9)]),
+        ("broadcom-4318-win", [WebTraffic(mean_think_s=1.5)]),
+        ("apple-bcm4321-osx", [CbrTraffic(interval_ms=14), WebTraffic(mean_think_s=3.0)]),
+    ]
+    for index, (profile, sources) in enumerate(profiles_and_traffic):
+        scenario.add_station(
+            StationSpec(name=f"device-{index}", profile=profile, sources=sources)
+        )
+    result = scenario.run()
+    macs = {name: mac for mac, name in result.station_names.items()
+            if name.startswith("device-")}
+
+    # --- Learning: devices observed under their true addresses -------
+    boundary_us = 120e6
+    training = [c for c in result.captures if c.timestamp_us < boundary_us]
+    tracker = DeviceTracker(min_observations=50, link_threshold=0.4)
+    learnt = tracker.learn(training)
+    print(f"learnt {learnt} signatures during the open observation phase")
+
+    # --- Later: every device randomises its MAC per window ----------
+    rng = random.Random(3)
+    later = [c for c in result.captures if c.timestamp_us >= boundary_us]
+    window_length_us = 60e6
+    windows = []
+    truth: dict = {}
+    for window_index in range(2):
+        start = boundary_us + window_index * window_length_us
+        window = [
+            c for c in later if start <= c.timestamp_us < start + window_length_us
+        ]
+        for name, real_mac in macs.items():
+            pseudonym = real_mac.randomized(rng)
+            truth[pseudonym] = real_mac
+            window = spoof_mac(window, real_mac, pseudonym)
+        windows.append(window)
+
+    report = tracker.track(windows)
+    print(f"\n{len(report.links)} pseudonymous identities observed:")
+    name_of = {mac: name for name, mac in macs.items()}
+    for link in report.links:
+        linked = (
+            name_of.get(link.linked_device, str(link.linked_device))
+            if link.linked_device
+            else "(unlinked)"
+        )
+        correct = "✓" if truth.get(link.pseudonym) == link.linked_device else "✗"
+        print(
+            f"  window {link.window_index}: {link.pseudonym} -> {linked:12s} "
+            f"(similarity {link.similarity:.3f}) {correct}"
+        )
+    accuracy = report.linking_accuracy(truth)
+    print(f"\nlinking accuracy: {accuracy * 100:.0f}% — MAC randomisation "
+          "alone does not anonymise a device")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e .`` in offline environments whose setuptools
+lacks PEP 660 editable-wheel support (no ``wheel`` package available).
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

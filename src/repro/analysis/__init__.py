@@ -1,0 +1,34 @@
+"""Section VI factor experiments and rendering helpers.
+
+:mod:`repro.analysis.factors` reproduces the paper's controlled
+micro-experiments explaining *why* inter-arrival histograms
+discriminate (backoff quirks, RTS settings, rate behaviour, network
+services, power save); :mod:`repro.analysis.plots` renders histograms
+and curves as text/CSV for terminals and logs.
+"""
+
+from repro.analysis.factors import (
+    FactorExperimentResult,
+    backoff_experiment,
+    psm_experiment,
+    rate_experiment,
+    rts_experiment,
+    services_experiment,
+)
+from repro.analysis.plots import (
+    render_curve,
+    render_histogram,
+    render_table,
+)
+
+__all__ = [
+    "FactorExperimentResult",
+    "backoff_experiment",
+    "psm_experiment",
+    "rate_experiment",
+    "render_curve",
+    "render_histogram",
+    "render_table",
+    "rts_experiment",
+    "services_experiment",
+]

@@ -1,0 +1,112 @@
+"""Text rendering of histograms, curves and tables.
+
+The paper's figures are density histograms and TPR/FPR curves.  In a
+library context the equivalents are terminal-friendly: a unicode bar
+histogram (:func:`render_histogram`), a down-sampled curve listing
+(:func:`render_curve`) and an aligned table (:func:`render_table`).
+All renderers also produce machine-readable CSV via ``as_csv=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.histogram import BinSpec
+
+_BAR_CHARS = " ▏▎▍▌▋▊▉█"
+
+
+def render_histogram(
+    frequencies: np.ndarray,
+    bins: BinSpec,
+    title: str = "",
+    width: int = 50,
+    max_rows: int = 40,
+    as_csv: bool = False,
+) -> str:
+    """Render a percentage-frequency histogram as bars or CSV.
+
+    Rows are grouped when the histogram has more bins than
+    ``max_rows`` so dense histograms stay readable.
+    """
+    if len(frequencies) != bins.bin_count:
+        raise ValueError(
+            f"frequency vector ({len(frequencies)}) does not match bins "
+            f"({bins.bin_count})"
+        )
+    if as_csv:
+        lines = ["bin,frequency"]
+        for index, value in enumerate(frequencies):
+            lines.append(f"{bins.bin_label(index)},{value:.6f}")
+        return "\n".join(lines)
+
+    group = max(1, int(np.ceil(bins.bin_count / max_rows)))
+    grouped: list[tuple[str, float]] = []
+    for start in range(0, bins.bin_count, group):
+        label = bins.bin_label(start)
+        grouped.append((label, float(frequencies[start : start + group].sum())))
+    peak = max((value for _label, value in grouped), default=0.0)
+    lines = [title] if title else []
+    label_width = max((len(label) for label, _ in grouped), default=0)
+    for label, value in grouped:
+        if peak > 0:
+            filled = value / peak * width
+        else:
+            filled = 0.0
+        whole = int(filled)
+        remainder = int((filled - whole) * (len(_BAR_CHARS) - 1))
+        bar = "█" * whole + (_BAR_CHARS[remainder] if remainder else "")
+        lines.append(f"{label:>{label_width}} |{bar:<{width}}| {value:6.3f}")
+    return "\n".join(lines)
+
+
+def render_curve(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "FPR",
+    y_label: str = "TPR",
+    points: int = 12,
+    as_csv: bool = False,
+) -> str:
+    """Render a curve as a down-sampled point listing or CSV."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if as_csv:
+        lines = [f"{x_label},{y_label}"]
+        for x, y in zip(xs, ys):
+            lines.append(f"{x:.6f},{y:.6f}")
+        return "\n".join(lines)
+    if not xs:
+        return f"(empty {y_label} vs {x_label} curve)"
+    stride = max(1, len(xs) // points)
+    lines = [f"{x_label:>8}  {y_label:>8}"]
+    for index in range(0, len(xs), stride):
+        lines.append(f"{xs[index]:8.4f}  {ys[index]:8.4f}")
+    if (len(xs) - 1) % stride != 0:
+        lines.append(f"{xs[-1]:8.4f}  {ys[-1]:8.4f}")
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table (used by benches and the CLI)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(widths[i]) for i, v in enumerate(row)))
+    return "\n".join(lines)

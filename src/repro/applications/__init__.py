@@ -1,0 +1,36 @@
+"""Section VII applications and attacks.
+
+* :mod:`repro.applications.spoof_detector` — MAC-spoof detection for
+  APs guarding client allow-lists (VII-B1);
+* :mod:`repro.applications.rogue_ap` — rogue-AP detection for clients
+  verifying hot-spot identity (VII-B2);
+* :mod:`repro.applications.tracker` — linking devices across MAC
+  randomisation, the privacy concern of VII-B3;
+* :mod:`repro.applications.attacks` — the attacks of VII-A: replaying
+  a genuine device's traffic, naive signature mimicry, polluting the
+  learning stage and jamming-style pollution of the candidate window.
+"""
+
+from repro.applications.attacks import (
+    inject_fake_frames,
+    mimic_signature_traffic,
+    pollute_training,
+    replay_with_insertions,
+    spoof_mac,
+)
+from repro.applications.rogue_ap import RogueApDetector
+from repro.applications.spoof_detector import SpoofDetector, SpoofVerdict
+from repro.applications.tracker import DeviceTracker, TrackingReport
+
+__all__ = [
+    "DeviceTracker",
+    "RogueApDetector",
+    "SpoofDetector",
+    "SpoofVerdict",
+    "TrackingReport",
+    "inject_fake_frames",
+    "mimic_signature_traffic",
+    "pollute_training",
+    "replay_with_insertions",
+    "spoof_mac",
+]

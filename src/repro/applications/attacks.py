@@ -1,0 +1,241 @@
+"""Attacks against the fingerprinting method (Section VII-A).
+
+Trace-level attack models, each returning a transformed capture:
+
+* :func:`spoof_mac` — plain MAC spoofing: the attacker's traffic
+  claims a victim's address (what the method is designed to catch);
+* :func:`replay_with_insertions` — a recorded genuine capture is
+  replayed while the attacker weaves its own frames in; the paper
+  notes the inserted traffic perturbs the timing signature;
+* :func:`mimic_signature_traffic` — a constant-rate attacker varies
+  frame sizes to reproduce a victim's *size* distribution, the naive
+  mimicry the paper says fails for timing parameters;
+* :func:`pollute_training` — attacker frames injected during the
+  learning stage (Section VII-A2);
+* :func:`inject_fake_frames` — fake frames under genuine devices'
+  addresses to degrade fingerprinting (Section VII-A3's "more subtle
+  attacker").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import numpy as np
+
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.frames import Dot11Frame, FrameSubtype
+from repro.dot11.mac import MacAddress
+from repro.core.signature import Signature
+
+
+def _sorted_merge(
+    original: list[CapturedFrame], inserted: list[CapturedFrame]
+) -> list[CapturedFrame]:
+    merged = list(original) + inserted
+    merged.sort(key=lambda c: c.timestamp_us)
+    return merged
+
+
+def spoof_mac(
+    frames: list[CapturedFrame],
+    attacker: MacAddress,
+    victim: MacAddress,
+) -> list[CapturedFrame]:
+    """Rewrite the attacker's frames to claim the victim's address.
+
+    Timing/rate/size behaviour is untouched — exactly the situation in
+    which fingerprinting catches the spoof.
+    """
+    rewritten: list[CapturedFrame] = []
+    for captured in frames:
+        if captured.sender == attacker:
+            rewritten.append(captured.with_sender(victim))
+        else:
+            rewritten.append(captured)
+    return rewritten
+
+
+def replay_with_insertions(
+    genuine: list[CapturedFrame],
+    attacker_frame_size: int = 700,
+    insertion_rate_hz: float = 5.0,
+    rate_mbps: float = 54.0,
+    seed: int = 1,
+) -> list[CapturedFrame]:
+    """Replay a genuine capture with attacker frames woven in.
+
+    All inserted frames claim the replayed device's address (a relay
+    attack carrying the attacker's own payload traffic).  The denser
+    the insertions, the further the inter-arrival signature drifts —
+    the attacker-capacity restriction of Section VII-A1.
+    """
+    if not genuine:
+        return []
+    victims = {c.sender for c in genuine if c.sender is not None}
+    if not victims:
+        raise ValueError("replay source contains no attributable frames")
+    victim = sorted(victims, key=lambda m: m.value)[0]
+    rng = random.Random(seed)
+    start = genuine[0].timestamp_us
+    end = genuine[-1].timestamp_us
+    inserted: list[CapturedFrame] = []
+    t = start + rng.expovariate(insertion_rate_hz) * 1e6
+    template = next(c for c in genuine if c.sender == victim)
+    while t < end:
+        frame = Dot11Frame(
+            subtype=FrameSubtype.QOS_DATA,
+            size=attacker_frame_size,
+            addr1=template.frame.addr1,
+            addr2=victim,
+            addr3=template.frame.addr3,
+            to_ds=True,
+        )
+        inserted.append(
+            replace(template, timestamp_us=t, frame=frame, rate_mbps=rate_mbps)
+        )
+        t += rng.expovariate(insertion_rate_hz) * 1e6
+    return _sorted_merge(genuine, inserted)
+
+
+def mimic_signature_traffic(
+    target_signature: Signature,
+    attacker: MacAddress,
+    bssid: MacAddress,
+    duration_s: float,
+    frames_per_second: float = 20.0,
+    rate_mbps: float = 54.0,
+    size_bin_width: float = 32.0,
+    seed: int = 2,
+) -> list[CapturedFrame]:
+    """Generate attacker traffic reproducing a victim's size histogram.
+
+    The attacker sends at a constant rate and draws frame sizes from
+    the victim's per-type size distribution (Section VII-A1's "vary
+    the frame sizes for each frame type" strategy).  Timing is a plain
+    Poisson process — the attacker does not control µs-level MAC
+    behaviour, which is why timing-based parameters survive.
+    """
+    rng = random.Random(seed)
+    subtype_for = {
+        "QoS Data": FrameSubtype.QOS_DATA,
+        "Data": FrameSubtype.DATA,
+        "Data Null Function": FrameSubtype.NULL_FUNCTION,
+        "Probe Request": FrameSubtype.PROBE_REQUEST,
+    }
+    ftypes = [f for f in target_signature.frame_types if f in subtype_for]
+    if not ftypes:
+        raise ValueError("target signature has no mimicable frame types")
+    weights = np.array([target_signature.weight(f) for f in ftypes], dtype=float)
+    weights = weights / weights.sum()
+
+    frames: list[CapturedFrame] = []
+    t = 0.0
+    while t < duration_s * 1e6:
+        ftype = rng.choices(ftypes, weights=list(weights))[0]
+        histogram = target_signature.histogram(ftype)
+        assert histogram is not None
+        if histogram.sum() <= 0:
+            t += rng.expovariate(frames_per_second) * 1e6
+            continue
+        bin_index = rng.choices(
+            range(len(histogram)), weights=list(histogram)
+        )[0]
+        size = max(28, int(bin_index * size_bin_width + size_bin_width / 2))
+        frame = Dot11Frame(
+            subtype=subtype_for[ftype],
+            size=size,
+            addr1=bssid,
+            addr2=attacker,
+            addr3=bssid,
+            to_ds=True,
+        )
+        frames.append(
+            CapturedFrame(timestamp_us=t, frame=frame, rate_mbps=rate_mbps)
+        )
+        t += rng.expovariate(frames_per_second) * 1e6
+    return frames
+
+
+def pollute_training(
+    training: list[CapturedFrame],
+    attacker: MacAddress,
+    victim: MacAddress,
+    pollution_fraction: float = 0.3,
+    seed: int = 3,
+) -> list[CapturedFrame]:
+    """Inject attacker frames under a victim's address into training.
+
+    Models Section VII-A2: a learning stage the attacker can reach.
+    ``pollution_fraction`` scales the injected volume relative to the
+    victim's own frame count.
+    """
+    if not 0 <= pollution_fraction <= 10:
+        raise ValueError(f"unreasonable pollution fraction: {pollution_fraction}")
+    rng = random.Random(seed)
+    victim_frames = [c for c in training if c.sender == victim]
+    if not victim_frames:
+        raise ValueError("victim absent from training capture")
+    count = int(len(victim_frames) * pollution_fraction)
+    start = training[0].timestamp_us
+    end = training[-1].timestamp_us
+    inserted: list[CapturedFrame] = []
+    for _ in range(count):
+        t = rng.uniform(start, end)
+        frame = Dot11Frame(
+            subtype=FrameSubtype.QOS_DATA,
+            size=rng.choice([128, 256, 900]),
+            addr1=victim_frames[0].frame.addr1,
+            addr2=victim,
+            addr3=victim_frames[0].frame.addr3,
+            to_ds=True,
+        )
+        inserted.append(
+            CapturedFrame(timestamp_us=t, frame=frame, rate_mbps=11.0)
+        )
+    _ = attacker  # the attacker's identity never appears on air
+    return _sorted_merge(training, inserted)
+
+
+def inject_fake_frames(
+    window: list[CapturedFrame],
+    victims: list[MacAddress],
+    injection_rate_hz: float = 20.0,
+    seed: int = 4,
+) -> list[CapturedFrame]:
+    """Degrade fingerprinting by injecting frames under genuine MACs.
+
+    Section VII-A3's anti-fingerprinting attacker: fake frames carrying
+    the fingerprintees' addresses perturb every timing histogram in the
+    window.  All passive methods degrade under this attack; the bench
+    measures by how much.
+    """
+    if not window:
+        return []
+    if not victims:
+        raise ValueError("need at least one victim address")
+    rng = random.Random(seed)
+    start = window[0].timestamp_us
+    end = window[-1].timestamp_us
+    inserted: list[CapturedFrame] = []
+    t = start + rng.expovariate(injection_rate_hz) * 1e6
+    while t < end:
+        victim = rng.choice(victims)
+        frame = Dot11Frame(
+            subtype=FrameSubtype.QOS_DATA,
+            size=rng.randint(60, 1500),
+            addr1=window[0].frame.addr1,
+            addr2=victim,
+            addr3=window[0].frame.addr3,
+            to_ds=True,
+        )
+        inserted.append(
+            CapturedFrame(
+                timestamp_us=t,
+                frame=frame,
+                rate_mbps=rng.choice([11.0, 24.0, 54.0]),
+            )
+        )
+        t += rng.expovariate(injection_rate_hz) * 1e6
+    return _sorted_merge(window, inserted)

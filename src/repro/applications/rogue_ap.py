@@ -1,0 +1,105 @@
+"""Rogue-AP detection (Section VII-B2).
+
+A client stores the published signature of the legitimate AP (learnt
+during a safe period) and routinely fingerprints the AP it is
+associated with.  Per the paper, frames the AP merely *forwards* on
+behalf of other devices are excluded — they would pollute the AP's
+signature with other devices' applicative behaviour — so the
+fingerprint rests on the AP's own frames: beacons, probe responses and
+other management traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.frames import FrameType
+from repro.dot11.mac import MacAddress
+from repro.core.parameters import InterArrivalTime, NetworkParameter
+from repro.core.signature import Signature, SignatureBuilder
+from repro.core.similarity import cosine_similarity
+
+
+def ap_own_frames(
+    frames: list[CapturedFrame], ap: MacAddress
+) -> list[CapturedFrame]:
+    """The AP's non-forwarded frames: management traffic it originates.
+
+    Data frames with ``from_ds`` set are forwarded payloads and are
+    dropped, exactly as Section VII-B2 prescribes.
+    """
+    own: list[CapturedFrame] = []
+    for captured in frames:
+        if captured.sender != ap:
+            continue
+        if captured.frame.ftype is FrameType.DATA and captured.frame.from_ds:
+            continue
+        own.append(captured)
+    return own
+
+
+@dataclass(frozen=True, slots=True)
+class RogueApVerdict:
+    """Result of one AP check."""
+
+    ap: MacAddress
+    similarity: float
+    is_rogue: bool
+    observations: int
+
+
+class RogueApDetector:
+    """Verifies an AP's identity against its published signature."""
+
+    def __init__(
+        self,
+        parameter: NetworkParameter | None = None,
+        accept_threshold: float = 0.6,
+        min_observations: int = 50,
+    ) -> None:
+        self.parameter = parameter if parameter is not None else InterArrivalTime()
+        self.accept_threshold = accept_threshold
+        self.builder = SignatureBuilder(
+            self.parameter, min_observations=min_observations
+        )
+        self._reference: Signature | None = None
+        self._ap: MacAddress | None = None
+
+    def learn(self, frames: list[CapturedFrame], ap: MacAddress) -> bool:
+        """Record the legitimate AP's signature from a safe capture."""
+        signature = self.builder.build_single(ap_own_frames(frames, ap), ap)
+        if signature is None:
+            return False
+        self._reference = signature
+        self._ap = ap
+        return True
+
+    def check(self, frames: list[CapturedFrame], claimed_ap: MacAddress) -> RogueApVerdict:
+        """Fingerprint the currently visible AP traffic.
+
+        The combined similarity follows Algorithm 1 with the stored
+        reference as the single database entry.
+        """
+        if self._reference is None or self._ap is None:
+            raise RuntimeError("RogueApDetector.check called before learn()")
+        own = ap_own_frames(frames, claimed_ap)
+        signature = self.builder.build_single(own, claimed_ap)
+        if signature is None:
+            return RogueApVerdict(
+                ap=claimed_ap, similarity=0.0, is_rogue=True, observations=len(own)
+            )
+        combined = 0.0
+        for ftype_key, candidate_hist in signature.histograms.items():
+            reference_hist = self._reference.histogram(ftype_key)
+            if reference_hist is None:
+                continue
+            combined += self._reference.weight(ftype_key) * cosine_similarity(
+                candidate_hist, reference_hist
+            )
+        return RogueApVerdict(
+            ap=claimed_ap,
+            similarity=combined,
+            is_rogue=combined < self.accept_threshold,
+            observations=signature.total_observations,
+        )

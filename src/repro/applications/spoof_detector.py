@@ -1,0 +1,120 @@
+"""MAC-spoof detection (Section VII-B1).
+
+An AP (or monitoring appliance) learns the signatures of authorised
+client stations during a user-initiated learning window, then
+routinely fingerprints traffic claiming those MAC addresses.  A client
+whose current-window signature no longer matches its own reference —
+while matching is expected to clear an acceptance threshold — is
+flagged: someone is using its address.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.mac import MacAddress
+from repro.core.database import ReferenceDatabase
+from repro.core.matcher import match_signature
+from repro.core.parameters import InterArrivalTime, NetworkParameter
+from repro.core.signature import SignatureBuilder
+
+
+class SpoofVerdict(enum.Enum):
+    """Outcome of checking one claimed identity in one window."""
+
+    #: Signature matches the claimed identity's reference.
+    GENUINE = "genuine"
+    #: Signature exists but does not match the claimed identity.
+    SPOOFED = "spoofed"
+    #: Too little traffic in the window to decide.
+    INSUFFICIENT = "insufficient"
+    #: The claimed address is not in the allow-list.
+    UNKNOWN_DEVICE = "unknown"
+
+
+@dataclass(frozen=True, slots=True)
+class SpoofCheck:
+    """One verdict with its evidence."""
+
+    device: MacAddress
+    verdict: SpoofVerdict
+    self_similarity: float
+    best_other_similarity: float
+
+
+class SpoofDetector:
+    """Guards an allow-list of client stations with fingerprints.
+
+    ``accept_threshold`` is the minimum self-similarity a genuine
+    device must show; ``margin`` additionally requires the claimed
+    identity to beat every *other* reference by this much, catching
+    attackers whose traffic resembles a different known device.
+    """
+
+    def __init__(
+        self,
+        parameter: NetworkParameter | None = None,
+        accept_threshold: float = 0.55,
+        margin: float = 0.0,
+        min_observations: int = 50,
+    ) -> None:
+        if not 0.0 <= accept_threshold <= 1.0:
+            raise ValueError(f"threshold out of range: {accept_threshold}")
+        self.parameter = parameter if parameter is not None else InterArrivalTime()
+        self.accept_threshold = accept_threshold
+        self.margin = margin
+        self.builder = SignatureBuilder(
+            self.parameter, min_observations=min_observations
+        )
+        self.database = ReferenceDatabase()
+
+    def learn(self, frames: list[CapturedFrame], allowed: set[MacAddress]) -> set[MacAddress]:
+        """Learning stage over a clean window; returns devices learnt.
+
+        Only allow-listed addresses enter the reference database —
+        bystander traffic in the learning capture is ignored.
+        """
+        learnt: set[MacAddress] = set()
+        for device, signature in self.builder.build(frames).items():
+            if device in allowed:
+                self.database.add(device, signature)
+                learnt.add(device)
+        return learnt
+
+    def check_window(self, frames: list[CapturedFrame]) -> list[SpoofCheck]:
+        """Fingerprint one detection window; verdict per active device."""
+        checks: list[SpoofCheck] = []
+        signatures = self.builder.build(frames)
+        active = {c.sender for c in frames if c.sender is not None}
+        for device in sorted(active, key=lambda m: m.value):
+            if device not in self.database:
+                checks.append(
+                    SpoofCheck(device, SpoofVerdict.UNKNOWN_DEVICE, 0.0, 0.0)
+                )
+                continue
+            signature = signatures.get(device)
+            if signature is None:
+                checks.append(
+                    SpoofCheck(device, SpoofVerdict.INSUFFICIENT, 0.0, 0.0)
+                )
+                continue
+            similarities = match_signature(signature, self.database)
+            self_sim = similarities.get(device, 0.0)
+            best_other = max(
+                (sim for other, sim in similarities.items() if other != device),
+                default=0.0,
+            )
+            genuine = self_sim >= self.accept_threshold and (
+                self_sim >= best_other + self.margin
+            )
+            checks.append(
+                SpoofCheck(
+                    device=device,
+                    verdict=SpoofVerdict.GENUINE if genuine else SpoofVerdict.SPOOFED,
+                    self_similarity=self_sim,
+                    best_other_similarity=best_other,
+                )
+            )
+        return checks

@@ -1,0 +1,123 @@
+"""Device tracking across MAC randomisation (Section VII-B3).
+
+The paper's privacy observation: the signature traces a user "even in
+cases where the device regularly changes its MAC address in order to
+stay anonymous".  :class:`DeviceTracker` demonstrates it — it links
+the pseudonymous identities seen across observation windows to learnt
+device signatures, reporting which pseudonyms belong to which known
+device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.mac import MacAddress
+from repro.core.database import ReferenceDatabase
+from repro.core.matcher import match_signature
+from repro.core.parameters import InterArrivalTime, NetworkParameter
+from repro.core.signature import SignatureBuilder
+
+
+@dataclass(frozen=True, slots=True)
+class PseudonymLink:
+    """One pseudonymous address linked (or not) to a known device."""
+
+    pseudonym: MacAddress
+    linked_device: MacAddress | None
+    similarity: float
+    window_index: int
+
+
+@dataclass
+class TrackingReport:
+    """All pseudonym links across the observed windows."""
+
+    links: list[PseudonymLink] = field(default_factory=list)
+
+    def trajectory(self, device: MacAddress) -> list[PseudonymLink]:
+        """Pseudonyms attributed to one device, in window order."""
+        return sorted(
+            (link for link in self.links if link.linked_device == device),
+            key=lambda link: link.window_index,
+        )
+
+    def linking_accuracy(self, truth: dict[MacAddress, MacAddress]) -> float:
+        """Fraction of links correct under a pseudonym→device truth map.
+
+        Pseudonyms absent from ``truth`` (genuinely unknown devices)
+        count as correct only when left unlinked.
+        """
+        if not self.links:
+            return 0.0
+        correct = 0
+        for link in self.links:
+            expected = truth.get(link.pseudonym)
+            if expected is None:
+                correct += link.linked_device is None
+            else:
+                correct += link.linked_device == expected
+        return correct / len(self.links)
+
+
+class DeviceTracker:
+    """Links randomised MAC addresses back to learnt signatures."""
+
+    def __init__(
+        self,
+        parameter: NetworkParameter | None = None,
+        link_threshold: float = 0.5,
+        min_observations: int = 50,
+    ) -> None:
+        self.parameter = parameter if parameter is not None else InterArrivalTime()
+        self.link_threshold = link_threshold
+        self.builder = SignatureBuilder(
+            self.parameter, min_observations=min_observations
+        )
+        self.database = ReferenceDatabase()
+
+    def learn(self, frames: list[CapturedFrame]) -> int:
+        """Learn device signatures from a capture with true addresses."""
+        signatures = self.builder.build(frames)
+        for device, signature in signatures.items():
+            self.database.add(device, signature)
+        return len(signatures)
+
+    def track_window(
+        self, frames: list[CapturedFrame], window_index: int = 0
+    ) -> list[PseudonymLink]:
+        """Link every pseudonymous sender in one observation window.
+
+        Only locally-administered (randomised-looking) addresses are
+        treated as pseudonyms; devices still using their real address
+        are trivially trackable and skipped.
+        """
+        links: list[PseudonymLink] = []
+        for pseudonym, signature in self.builder.build(frames).items():
+            if not pseudonym.is_locally_administered:
+                continue
+            similarities = match_signature(signature, self.database)
+            best_device: MacAddress | None = None
+            best_sim = 0.0
+            for device, sim in similarities.items():
+                if sim > best_sim:
+                    best_device, best_sim = device, sim
+            if best_sim < self.link_threshold:
+                best_device = None
+            links.append(
+                PseudonymLink(
+                    pseudonym=pseudonym,
+                    linked_device=best_device,
+                    similarity=best_sim,
+                    window_index=window_index,
+                )
+            )
+        return links
+
+    def track(self, windows: list[list[CapturedFrame]]) -> TrackingReport:
+        """Track across a sequence of observation windows."""
+        report = TrackingReport()
+        for index, frames in enumerate(windows):
+            report.links.extend(self.track_window(frames, index))
+        return report

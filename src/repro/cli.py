@@ -1,0 +1,242 @@
+"""Command-line tool, the analogue of the paper's pcap-based tool.
+
+Section V-C: "We have developed a tool in Python based on the pcap
+library.  It analyses standard pcap files [...] and extracts the
+different network parameters [...] also implements the fingerprinting
+methodology".  This CLI does the same against radiotap pcaps (real or
+simulator-produced):
+
+* ``repro-80211 learn capture.pcap --db refs.json`` — build a
+  reference database from a training capture;
+* ``repro-80211 match capture.pcap --db refs.json`` — match candidate
+  windows against the database;
+* ``repro-80211 evaluate capture.pcap --training-s 600`` — run the
+  full similarity/identification evaluation on one capture;
+* ``repro-80211 simulate office --out office.pcap`` — produce a
+  synthetic dataset pcap;
+* ``repro-80211 histogram capture.pcap --device <mac>`` — render a
+  device's inter-arrival histogram (Figure 2 style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.plots import render_histogram, render_table
+from repro.core.database import ReferenceDatabase
+from repro.core.detection import DetectionConfig
+from repro.core.matcher import match_signature
+from repro.core.parameters import ALL_PARAMETERS, parameter_by_name
+from repro.core.pipeline import evaluate_trace
+from repro.core.signature import Signature, SignatureBuilder
+from repro.dot11.mac import MacAddress
+from repro.traces.trace import Trace
+
+
+def _signature_to_json(signature: Signature) -> dict:
+    return {
+        "histograms": {k: v.tolist() for k, v in signature.histograms.items()},
+        "weights": signature.weights,
+        "observation_counts": signature.observation_counts,
+    }
+
+
+def _signature_from_json(payload: dict) -> Signature:
+    return Signature(
+        histograms={k: np.array(v) for k, v in payload["histograms"].items()},
+        weights=dict(payload["weights"]),
+        observation_counts={
+            k: int(v) for k, v in payload.get("observation_counts", {}).items()
+        },
+    )
+
+
+def save_database(database: ReferenceDatabase, parameter_name: str, path: Path) -> None:
+    """Persist a reference database as JSON."""
+    payload = {
+        "parameter": parameter_name,
+        "devices": {
+            str(device): _signature_to_json(signature)
+            for device, signature in database.items()
+        },
+    }
+    path.write_text(json.dumps(payload))
+
+
+def load_database(path: Path) -> tuple[ReferenceDatabase, str]:
+    """Load a JSON reference database; returns (db, parameter name)."""
+    payload = json.loads(path.read_text())
+    database = ReferenceDatabase()
+    for mac_text, signature_payload in payload["devices"].items():
+        database.add(
+            MacAddress.parse(mac_text), _signature_from_json(signature_payload)
+        )
+    return database, payload["parameter"]
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    trace = Trace.from_pcap(args.pcap)
+    parameter = parameter_by_name(args.parameter)
+    builder = SignatureBuilder(parameter, min_observations=args.min_observations)
+    database = ReferenceDatabase.from_training(builder, trace.frames)
+    save_database(database, parameter.name, Path(args.db))
+    print(f"learnt {len(database)} reference devices -> {args.db}")
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    database, parameter_name = load_database(Path(args.db))
+    parameter = parameter_by_name(parameter_name)
+    builder = SignatureBuilder(parameter, min_observations=args.min_observations)
+    trace = Trace.from_pcap(args.pcap)
+    rows = []
+    for window_index, window in enumerate(trace.windows(args.window_s)):
+        for device, signature in builder.build(window.frames).items():
+            similarities = match_signature(signature, database)
+            if not similarities:
+                continue
+            best = max(similarities, key=lambda d: similarities[d])
+            verdict = "MATCH" if best == device else "MISMATCH"
+            rows.append(
+                (
+                    window_index,
+                    str(device),
+                    str(best),
+                    f"{similarities[best]:.3f}",
+                    verdict,
+                )
+            )
+    print(
+        render_table(
+            ["window", "claimed", "best match", "similarity", "verdict"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    trace = Trace.from_pcap(args.pcap)
+    config = DetectionConfig(
+        window_s=args.window_s, min_observations=args.min_observations
+    )
+    rows = []
+    for parameter in ALL_PARAMETERS:
+        result = evaluate_trace(trace, parameter, args.training_s, config)
+        rows.append(
+            (
+                parameter.label,
+                f"{result.auc:.3f}",
+                f"{result.identification_at(0.01):.3f}",
+                f"{result.identification_at(0.1):.3f}",
+            )
+        )
+    print(
+        render_table(
+            ["parameter", "AUC", "ident@FPR=0.01", "ident@FPR=0.1"],
+            rows,
+            title=f"{args.pcap}: {len(trace)} frames",
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.traces.datasets import build_dataset, _spec
+
+    spec = _spec(args.dataset, args.scale)
+    trace = build_dataset(spec)
+    count = trace.to_pcap(args.out)
+    print(f"{spec.name}: wrote {count} frames to {args.out}")
+    return 0
+
+
+def _cmd_histogram(args: argparse.Namespace) -> int:
+    trace = Trace.from_pcap(args.pcap)
+    parameter = parameter_by_name(args.parameter)
+    builder = SignatureBuilder(parameter, min_observations=args.min_observations)
+    device = MacAddress.parse(args.device)
+    signature = builder.build_single(trace.frames, device)
+    if signature is None:
+        print(f"{device}: fewer than {args.min_observations} observations", file=sys.stderr)
+        return 1
+    for ftype_key, histogram in sorted(signature.histograms.items()):
+        print(
+            render_histogram(
+                histogram,
+                builder.bins,
+                title=(
+                    f"{device} — {parameter.label} — {ftype_key} "
+                    f"(weight {signature.weight(ftype_key):.2f})"
+                ),
+                as_csv=args.csv,
+            )
+        )
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-80211",
+        description="Passive 802.11 device fingerprinting (ICDCS 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--parameter", default="interarrival",
+                       help="network parameter (rate, size, access, txtime, interarrival)")
+        p.add_argument("--min-observations", type=int, default=50)
+
+    learn = sub.add_parser("learn", help="build a reference database from a pcap")
+    learn.add_argument("pcap")
+    learn.add_argument("--db", required=True, help="output JSON database path")
+    common(learn)
+    learn.set_defaults(func=_cmd_learn)
+
+    match = sub.add_parser("match", help="match a capture against a database")
+    match.add_argument("pcap")
+    match.add_argument("--db", required=True)
+    match.add_argument("--window-s", type=float, default=300.0)
+    match.add_argument("--min-observations", type=int, default=50)
+    match.set_defaults(func=_cmd_match)
+
+    evaluate = sub.add_parser("evaluate", help="full evaluation on one capture")
+    evaluate.add_argument("pcap")
+    evaluate.add_argument("--training-s", type=float, required=True)
+    evaluate.add_argument("--window-s", type=float, default=300.0)
+    evaluate.add_argument("--min-observations", type=int, default=50)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    simulate = sub.add_parser("simulate", help="generate a synthetic dataset pcap")
+    simulate.add_argument(
+        "dataset",
+        choices=["office1", "office2", "conference1", "conference2"],
+    )
+    simulate.add_argument("--out", required=True)
+    simulate.add_argument("--scale", type=float, default=1.0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    histogram = sub.add_parser("histogram", help="render one device's histograms")
+    histogram.add_argument("pcap")
+    histogram.add_argument("--device", required=True, help="MAC address")
+    histogram.add_argument("--csv", action="store_true")
+    common(histogram)
+    histogram.set_defaults(func=_cmd_histogram)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``repro-80211`` / ``python -m repro.cli``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""The reference database (learning phase).
+
+Built from a training trace, the database stores one signature per
+reference device (Section IV-B).  It assumes a clean learning stage —
+the paper's pollution attack against this assumption is modelled in
+:mod:`repro.applications.attacks`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.mac import MacAddress
+from repro.core.signature import Signature, SignatureBuilder
+
+
+class ReferenceDatabase:
+    """Signatures of the known (authorised) devices."""
+
+    def __init__(self) -> None:
+        self._signatures: dict[MacAddress, Signature] = {}
+
+    @classmethod
+    def from_training(
+        cls, builder: SignatureBuilder, frames: list[CapturedFrame]
+    ) -> "ReferenceDatabase":
+        """Learning phase: one signature per device in the training trace."""
+        database = cls()
+        for sender, signature in builder.build(frames).items():
+            database.add(sender, signature)
+        return database
+
+    def add(self, device: MacAddress, signature: Signature) -> None:
+        """Register (or replace) one reference device's signature."""
+        self._signatures[device] = signature
+
+    def remove(self, device: MacAddress) -> None:
+        """Forget a reference device."""
+        del self._signatures[device]
+
+    def get(self, device: MacAddress) -> Signature | None:
+        """Signature of one device, if known."""
+        return self._signatures.get(device)
+
+    def __contains__(self, device: MacAddress) -> bool:
+        return device in self._signatures
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __iter__(self) -> Iterator[MacAddress]:
+        return iter(self._signatures)
+
+    def items(self) -> Iterator[tuple[MacAddress, Signature]]:
+        """(device, signature) pairs in insertion order."""
+        return iter(self._signatures.items())
+
+    @property
+    def devices(self) -> list[MacAddress]:
+        """All reference devices."""
+        return list(self._signatures)

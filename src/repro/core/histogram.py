@@ -1,0 +1,139 @@
+"""Histogram binning and percentage-frequency distributions.
+
+Signature construction (Section IV-A) converts raw observations into a
+percentage frequency distribution per frame type: bin ``b_j``'s value
+is ``o_j / |P^ftype(s)|``.  Two binning families cover the paper's
+parameters: uniform-width bins over a range (times, sizes) and
+categorical bins (the discrete 802.11 rate set).
+
+Out-of-range values are **clipped into the edge bins** by default so a
+heavy tail (e.g. very long inter-arrivals) still contributes mass
+instead of silently vanishing; ``drop_outside=True`` reproduces strict
+range-limited histograms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class BinSpec:
+    """Maps raw values onto bin indices."""
+
+    #: Number of bins this spec produces.
+    bin_count: int = 0
+
+    def index(self, value: float) -> int | None:
+        """Bin index for ``value`` (``None`` = discard the value)."""
+        raise NotImplementedError
+
+    def bin_label(self, index: int) -> str:
+        """Human-readable label of one bin (for rendering)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UniformBins(BinSpec):
+    """``k = (hi - lo) / width`` equal-width bins over ``[lo, hi)``."""
+
+    lo: float
+    hi: float
+    width: float
+    drop_outside: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"bin width must be positive: {self.width}")
+        if self.hi <= self.lo:
+            raise ValueError(f"empty bin range: [{self.lo}, {self.hi})")
+        object.__setattr__(
+            self, "bin_count", int(np.ceil((self.hi - self.lo) / self.width))
+        )
+
+    bin_count: int = field(init=False, default=0)
+
+    def index(self, value: float) -> int | None:
+        if value < self.lo:
+            return None if self.drop_outside else 0
+        if value >= self.hi:
+            return None if self.drop_outside else self.bin_count - 1
+        return int((value - self.lo) / self.width)
+
+    def bin_label(self, index: int) -> str:
+        low = self.lo + index * self.width
+        return f"[{low:g},{min(low + self.width, self.hi):g})"
+
+
+@dataclass(frozen=True)
+class CategoricalBins(BinSpec):
+    """One bin per discrete category (e.g. the 802.11 rate set)."""
+
+    categories: tuple[float, ...]
+    tolerance: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not self.categories:
+            raise ValueError("at least one category required")
+        object.__setattr__(self, "bin_count", len(self.categories))
+
+    bin_count: int = field(init=False, default=0)
+
+    def index(self, value: float) -> int | None:
+        for position, category in enumerate(self.categories):
+            if abs(value - category) <= self.tolerance:
+                return position
+        return None
+
+    def bin_label(self, index: int) -> str:
+        return f"{self.categories[index]:g}"
+
+
+class Histogram:
+    """A mutable observation accumulator over one bin spec."""
+
+    __slots__ = ("spec", "counts", "total")
+
+    def __init__(self, spec: BinSpec) -> None:
+        self.spec = spec
+        self.counts = np.zeros(spec.bin_count, dtype=np.int64)
+        self.total = 0
+
+    def add(self, value: float) -> bool:
+        """Record one observation; returns False if it was discarded."""
+        index = self.spec.index(value)
+        if index is None:
+            return False
+        self.counts[index] += 1
+        self.total += 1
+        return True
+
+    def add_many(self, values: list[float]) -> int:
+        """Record many observations; returns how many were kept."""
+        kept = 0
+        for value in values:
+            if self.add(value):
+                kept += 1
+        return kept
+
+    def frequencies(self) -> np.ndarray:
+        """Percentage frequency distribution ``P_j = o_j / total``.
+
+        An empty histogram yields the all-zero vector.
+        """
+        if self.total == 0:
+            return np.zeros(self.spec.bin_count, dtype=np.float64)
+        return self.counts.astype(np.float64) / self.total
+
+    def merged_with(self, other: "Histogram") -> "Histogram":
+        """Combine two histograms over the same spec."""
+        if self.spec is not other.spec and self.spec != other.spec:
+            raise ValueError("cannot merge histograms with different bin specs")
+        merged = Histogram(self.spec)
+        merged.counts = self.counts + other.counts
+        merged.total = self.total + other.total
+        return merged
+
+    def __repr__(self) -> str:
+        return f"<Histogram n={self.total} bins={self.spec.bin_count}>"

@@ -1,0 +1,133 @@
+"""Two-dimensional (joint) histogram signatures — §IV-A extension.
+
+The paper notes that plain histograms "may eliminate characteristic
+patterns" and name-checks n-dimensional histograms as a candidate
+refinement.  This module implements the 2-D case: a
+:class:`JointParameter` measures a *pair* of the five base parameters
+per frame and bins the pair into a flattened 2-D histogram, which then
+flows through the unchanged signature/matching machinery.
+
+Example: the (inter-arrival × frame size) joint distribution separates
+"short gap because of a small frame" from "short gap because of an
+aggressive backoff", which the marginals confuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.core.histogram import BinSpec
+from repro.core.parameters import (
+    NetworkParameter,
+    Observation,
+    parameter_by_name,
+)
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.phy import paper_transmission_time_us
+
+#: Per-frame value functions.  ``previous_t`` is the end-of-reception
+#: of the previous frame on the channel (None for the first frame).
+_VALUE_FUNCTIONS: dict[str, Callable[[CapturedFrame, float | None], float | None]] = {
+    "rate": lambda c, prev: c.rate_mbps,
+    "size": lambda c, prev: float(c.size),
+    "txtime": lambda c, prev: paper_transmission_time_us(c.size, c.rate_mbps),
+    "interarrival": lambda c, prev: None if prev is None else c.timestamp_us - prev,
+    "access": lambda c, prev: (
+        None
+        if prev is None
+        else (c.timestamp_us - paper_transmission_time_us(c.size, c.rate_mbps)) - prev
+    ),
+}
+
+
+@dataclass(frozen=True)
+class JointBins(BinSpec):
+    """Cartesian product of two bin specs, flattened row-major.
+
+    The value passed to :meth:`index` is an encoded pair produced by
+    :meth:`encode`; the flattening keeps the downstream histogram and
+    similarity code unchanged (they only see one long vector).
+    """
+
+    x_bins: BinSpec
+    y_bins: BinSpec
+
+    bin_count: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bin_count", self.x_bins.bin_count * self.y_bins.bin_count)
+
+    #: Encoding base: must exceed any bin count a spec can produce.
+    _BASE = 1 << 20
+
+    def encode(self, x: float, y: float) -> float | None:
+        """Encode a raw value pair into a joint scalar (None = drop)."""
+        ix = self.x_bins.index(x)
+        iy = self.y_bins.index(y)
+        if ix is None or iy is None:
+            return None
+        return float(ix * self._BASE + iy)
+
+    def index(self, value: float) -> int | None:
+        encoded = int(value)
+        ix, iy = divmod(encoded, self._BASE)
+        if not (0 <= ix < self.x_bins.bin_count and 0 <= iy < self.y_bins.bin_count):
+            return None
+        return ix * self.y_bins.bin_count + iy
+
+    def bin_label(self, index: int) -> str:
+        ix, iy = divmod(index, self.y_bins.bin_count)
+        return f"{self.x_bins.bin_label(ix)}×{self.y_bins.bin_label(iy)}"
+
+
+class JointParameter(NetworkParameter):
+    """A pair of base parameters measured jointly per frame.
+
+    ``x``/``y`` are base-parameter names (``rate``, ``size``,
+    ``txtime``, ``interarrival``, ``access``).  Bin specs default to
+    the base parameters' own defaults.
+    """
+
+    def __init__(
+        self,
+        x: str,
+        y: str,
+        x_bins: BinSpec | None = None,
+        y_bins: BinSpec | None = None,
+    ) -> None:
+        if x not in _VALUE_FUNCTIONS or y not in _VALUE_FUNCTIONS:
+            raise KeyError(f"unknown base parameter in joint pair: ({x}, {y})")
+        if x == y:
+            raise ValueError("joint parameter needs two distinct base parameters")
+        self._x = x
+        self._y = y
+        self.name = f"joint:{x}x{y}"
+        self.label = (
+            f"Joint {parameter_by_name(x).label} × {parameter_by_name(y).label}"
+        )
+        self._bins = JointBins(
+            x_bins=x_bins if x_bins is not None else parameter_by_name(x).default_bins(),
+            y_bins=y_bins if y_bins is not None else parameter_by_name(y).default_bins(),
+        )
+
+    def default_bins(self) -> BinSpec:
+        return self._bins
+
+    def observations(
+        self, frames: Iterable[CapturedFrame]
+    ) -> Iterator[Observation]:
+        fx = _VALUE_FUNCTIONS[self._x]
+        fy = _VALUE_FUNCTIONS[self._y]
+        previous_t: float | None = None
+        for captured in frames:
+            if captured.sender is not None:
+                x_value = fx(captured, previous_t)
+                y_value = fy(captured, previous_t)
+                if x_value is not None and y_value is not None:
+                    encoded = self._bins.encode(x_value, y_value)
+                    if encoded is not None:
+                        yield Observation(
+                            captured.sender, captured.ftype_key, encoded
+                        )
+            previous_t = captured.timestamp_us

@@ -1,0 +1,60 @@
+"""Algorithm 1: matching a candidate signature against the database.
+
+For every frame type the candidate exhibits, the candidate histogram is
+compared with each reference's histogram of the same frame type; the
+per-type similarity is weighted by the **reference** signature's frame
+type weight and accumulated:
+
+``sim_i += weight^ftype(r_i) × simCos(hist^ftype(c), hist^ftype(r_i))``
+
+A reference lacking a frame type the candidate shows contributes 0 for
+that type (its weight for the type is 0), naturally penalising
+behavioural mismatches.  The result is the similarity vector
+``<sim_1, …, sim_N>`` over the reference devices.
+"""
+
+from __future__ import annotations
+
+from repro.dot11.mac import MacAddress
+from repro.core.database import ReferenceDatabase
+from repro.core.signature import Signature
+from repro.core.similarity import SimilarityMeasure, cosine_similarity
+
+
+def match_signature(
+    candidate: Signature,
+    database: ReferenceDatabase,
+    measure: SimilarityMeasure = cosine_similarity,
+) -> dict[MacAddress, float]:
+    """Run Algorithm 1; returns per-reference combined similarities."""
+    similarities: dict[MacAddress, float] = {device: 0.0 for device in database}
+    for ftype_key, candidate_hist in candidate.histograms.items():
+        for device, reference in database.items():
+            reference_hist = reference.histogram(ftype_key)
+            if reference_hist is None:
+                continue
+            score = measure(candidate_hist, reference_hist)
+            similarities[device] += reference.weight(ftype_key) * score
+    return similarities
+
+
+def best_match(
+    candidate: Signature,
+    database: ReferenceDatabase,
+    measure: SimilarityMeasure = cosine_similarity,
+) -> tuple[MacAddress | None, float]:
+    """The identification test's core: the argmax reference device.
+
+    Returns ``(None, 0.0)`` on an empty database.  Ties break towards
+    the earliest-registered reference for determinism.
+    """
+    similarities = match_signature(candidate, database, measure)
+    winner: MacAddress | None = None
+    best_score = float("-inf")
+    for device, score in similarities.items():
+        if score > best_score:
+            winner = device
+            best_score = score
+    if winner is None:
+        return None, 0.0
+    return winner, best_score

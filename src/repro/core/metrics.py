@@ -1,0 +1,106 @@
+"""Accuracy metrics: similarity curves, AUC and identification ratios.
+
+Section IV-B defines the multi-class analogue of ROC analysis:
+
+* **similarity test** — TPR is the fraction of candidate windows
+  (whose device is known to the database) for which the returned set
+  contains the true device; FPR is the fraction of *wrong* reference
+  devices returned, normalised by the wrong devices available (N−1 per
+  window).  Plotting TPR against FPR across thresholds gives the
+  similarity curve; points may fall below the diagonal (the paper's
+  lower-right-triangle remark) because the classes are per-device.
+* **AUC** — trapezoidal area under the similarity curve, the "global
+  probability of correct classification" of Table II.
+* **identification test** — the argmax match, accepted only when its
+  similarity clears a threshold; the identification ratio at a given
+  FPR budget is what Table III reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class CurvePoint:
+    """One threshold's operating point."""
+
+    threshold: float
+    tpr: float
+    fpr: float
+
+
+@dataclass
+class SimilarityCurve:
+    """A swept TPR-vs-FPR curve for one parameter and one trace."""
+
+    points: list[CurvePoint]
+
+    def __post_init__(self) -> None:
+        # Sort by FPR for well-defined integration and lookup.
+        self.points.sort(key=lambda p: (p.fpr, p.tpr))
+
+    @property
+    def auc(self) -> float:
+        """Area under the curve (Table II's metric)."""
+        return area_under_curve(
+            [p.fpr for p in self.points], [p.tpr for p in self.points]
+        )
+
+    def tpr_at_fpr(self, fpr_budget: float) -> float:
+        """Best TPR achievable with FPR ≤ ``fpr_budget``."""
+        best = 0.0
+        for point in self.points:
+            if point.fpr <= fpr_budget + 1e-12:
+                best = max(best, point.tpr)
+        return best
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(fpr, tpr) arrays for plotting."""
+        return (
+            np.array([p.fpr for p in self.points]),
+            np.array([p.tpr for p in self.points]),
+        )
+
+
+def area_under_curve(fpr: list[float], tpr: list[float]) -> float:
+    """Trapezoidal AUC with (0,0)/(1,1) anchoring.
+
+    The measured operating points rarely reach the exact corners; the
+    curve is anchored there so AUCs are comparable across traces, as in
+    standard ROC practice.
+    """
+    if len(fpr) != len(tpr):
+        raise ValueError("fpr and tpr must have equal length")
+    pairs = sorted(zip([0.0, *fpr, 1.0], [0.0, *tpr, 1.0]))
+    xs = np.array([p[0] for p in pairs])
+    ys = np.array([p[1] for p in pairs])
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    return float(trapezoid(ys, xs))
+
+
+@dataclass(frozen=True, slots=True)
+class IdentificationPoint:
+    """One acceptance threshold's identification operating point."""
+
+    threshold: float
+    identification_ratio: float
+    fpr: float
+
+
+@dataclass
+class IdentificationCurve:
+    """Identification ratio vs FPR across acceptance thresholds."""
+
+    points: list[IdentificationPoint]
+
+    def ratio_at_fpr(self, fpr_budget: float) -> float:
+        """Best identification ratio with FPR ≤ ``fpr_budget``
+        (how Table III's "ratio at FPR 0.01 / 0.1" is read)."""
+        best = 0.0
+        for point in self.points:
+            if point.fpr <= fpr_budget + 1e-12:
+                best = max(best, point.identification_ratio)
+        return best

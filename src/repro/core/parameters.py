@@ -1,0 +1,194 @@
+"""The five network parameters of Section III.
+
+Each parameter turns a captured frame sequence into per-sender
+observations ``(sender, frame type, value)`` following the paper's
+Section IV-A semantics:
+
+* frames whose sender a passive monitor cannot attribute (ACK, CTS)
+  produce **no observation** — their measured value is dropped — but
+  they still advance the channel clock (``t_{i-1}``) for the
+  time-derived parameters, exactly as in the paper's Figure 1 example;
+* ``rate_i`` and ``size_i`` come straight from the Radiotap header;
+* ``tt_i = size_i / rate_i`` (µs) is the paper's simplified
+  transmission time;
+* ``i_i = t_i − t_{i−1}`` is the inter-arrival between consecutive
+  end-of-receptions on the channel, regardless of sender;
+* ``mtime_i = (t_i − tt_i) − t_{i−1}`` is the idle gap the sender
+  waited between the previous frame's end and its own frame's start.
+
+All parameters also accept a *default binning* used throughout the
+evaluation (ablated in ``benchmarks/test_ablation_bin_width.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.mac import MacAddress
+from repro.dot11.phy import PAPER_RATE_AXIS, paper_transmission_time_us
+from repro.core.histogram import BinSpec, CategoricalBins, UniformBins
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """One attributed measurement."""
+
+    sender: MacAddress
+    ftype_key: str
+    value: float
+
+
+class NetworkParameter:
+    """Base class: a passively measurable per-frame quantity."""
+
+    #: Short identifier used in tables and the CLI.
+    name: str = "abstract"
+    #: Human-readable label matching the paper's terminology.
+    label: str = "abstract parameter"
+
+    def default_bins(self) -> BinSpec:
+        """Binning used by the evaluation unless overridden."""
+        raise NotImplementedError
+
+    def observations(
+        self, frames: Iterable[CapturedFrame]
+    ) -> Iterator[Observation]:
+        """Yield attributed observations from a frame sequence."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class TransmissionRate(NetworkParameter):
+    """``p_i = rate_i`` — the Radiotap-reported transmission rate."""
+
+    name = "rate"
+    label = "Transmission rate"
+
+    def default_bins(self) -> BinSpec:
+        return CategoricalBins(categories=tuple(float(r) for r in PAPER_RATE_AXIS))
+
+    def observations(self, frames: Iterable[CapturedFrame]) -> Iterator[Observation]:
+        for captured in frames:
+            sender = captured.sender
+            if sender is None:
+                continue
+            yield Observation(sender, captured.ftype_key, captured.rate_mbps)
+
+
+class FrameSize(NetworkParameter):
+    """``p_i = size_i`` — the full MAC-layer frame size in bytes."""
+
+    name = "size"
+    label = "Frame size"
+
+    def default_bins(self) -> BinSpec:
+        return UniformBins(lo=0.0, hi=2400.0, width=32.0)
+
+    def observations(self, frames: Iterable[CapturedFrame]) -> Iterator[Observation]:
+        for captured in frames:
+            sender = captured.sender
+            if sender is None:
+                continue
+            yield Observation(sender, captured.ftype_key, float(captured.size))
+
+
+class TransmissionTime(NetworkParameter):
+    """``tt_i = size_i / rate_i`` in microseconds (Section IV-A)."""
+
+    name = "txtime"
+    label = "Transmission time"
+
+    def default_bins(self) -> BinSpec:
+        # The range must reach size/rate of a full frame at 1 Mbps
+        # (~19 ms), otherwise low-rate broadcast traffic piles into the
+        # clip bin and washes out device differences.
+        return UniformBins(lo=0.0, hi=20000.0, width=20.0)
+
+    def observations(self, frames: Iterable[CapturedFrame]) -> Iterator[Observation]:
+        for captured in frames:
+            sender = captured.sender
+            if sender is None:
+                continue
+            value = paper_transmission_time_us(captured.size, captured.rate_mbps)
+            yield Observation(sender, captured.ftype_key, value)
+
+
+class InterArrivalTime(NetworkParameter):
+    """``i_i = t_i − t_{i−1}`` between consecutive end-of-receptions.
+
+    The previous frame may come from *any* sender (or be an
+    unattributable ACK/CTS); only the attribution of the value follows
+    the current frame's sender.  The first frame of a capture yields no
+    observation.
+    """
+
+    name = "interarrival"
+    label = "Inter-arrival time"
+
+    def default_bins(self) -> BinSpec:
+        # The paper's histograms span 0-2500 µs (Figure 2); longer
+        # idle-tail gaps are dropped rather than clipped — a clip bin
+        # would dominate every lightly-loaded device's signature and
+        # make them mutually indistinguishable.
+        return UniformBins(lo=0.0, hi=2500.0, width=50.0, drop_outside=True)
+
+    def observations(self, frames: Iterable[CapturedFrame]) -> Iterator[Observation]:
+        previous_t: float | None = None
+        for captured in frames:
+            t_i = captured.timestamp_us
+            if previous_t is not None and captured.sender is not None:
+                yield Observation(
+                    captured.sender, captured.ftype_key, t_i - previous_t
+                )
+            previous_t = t_i
+
+
+class MediumAccessTime(NetworkParameter):
+    """``mtime_i = (t_i − tt_i) − t_{i−1}`` — the sender's idle wait.
+
+    The frame's start-of-reception is estimated as ``t_i − tt_i`` using
+    the paper's simplified transmission time; subtracting the previous
+    end-of-reception yields how long the sender left the medium idle
+    (DIFS + backoff slots, SIFS inside protected exchanges).
+    """
+
+    name = "access"
+    label = "Medium access time"
+
+    def default_bins(self) -> BinSpec:
+        # Same tail treatment as the inter-arrival time: only waits in
+        # the contention range carry device information.
+        return UniformBins(lo=0.0, hi=1000.0, width=20.0, drop_outside=True)
+
+    def observations(self, frames: Iterable[CapturedFrame]) -> Iterator[Observation]:
+        previous_t: float | None = None
+        for captured in frames:
+            t_i = captured.timestamp_us
+            if previous_t is not None and captured.sender is not None:
+                tt_i = paper_transmission_time_us(captured.size, captured.rate_mbps)
+                yield Observation(
+                    captured.sender, captured.ftype_key, (t_i - tt_i) - previous_t
+                )
+            previous_t = t_i
+
+
+#: The paper's five parameters, in its Section III order.
+ALL_PARAMETERS: tuple[NetworkParameter, ...] = (
+    TransmissionRate(),
+    FrameSize(),
+    MediumAccessTime(),
+    TransmissionTime(),
+    InterArrivalTime(),
+)
+
+
+def parameter_by_name(name: str) -> NetworkParameter:
+    """Look up one of the five parameters by its short name."""
+    for parameter in ALL_PARAMETERS:
+        if parameter.name == name:
+            return parameter
+    raise KeyError(f"unknown network parameter: {name!r}")

@@ -1,0 +1,126 @@
+"""Histogram similarity measures.
+
+The paper (Definition 2) uses the Cosine similarity: 1 for identical
+distributions, 0 for disjoint support.  As printed, the definition
+carries a ``1 −`` that contradicts the stated semantics and
+Algorithm 1; we implement the stated semantics as
+:func:`cosine_similarity` and expose the printed complement as
+:func:`cosine_distance` (see DESIGN.md "Known erratum handled").
+
+Because the paper cites Cha's histogram-distance taxonomy [8] and
+leaves "the most adequate signal processing method" open, the module
+also ships the classic alternatives used in the ablation benchmark:
+intersection, chi-square, Bhattacharyya and Jensen–Shannon.  All are
+*similarities* normalised to [0, 1] with 1 = identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+SimilarityMeasure = Callable[[np.ndarray, np.ndarray], float]
+
+_EPS = 1e-12
+
+
+def _validate(candidate: np.ndarray, reference: np.ndarray) -> None:
+    if candidate.shape != reference.shape:
+        raise ValueError(
+            f"histogram shapes differ: {candidate.shape} vs {reference.shape}"
+        )
+
+
+def cosine_similarity(candidate: np.ndarray, reference: np.ndarray) -> float:
+    """Definition 2 with the stated semantics: dot / (‖c‖·‖r‖) ∈ [0, 1].
+
+    Two all-zero histograms have no overlap information and score 0.
+    """
+    _validate(candidate, reference)
+    norm_c = float(np.linalg.norm(candidate))
+    norm_r = float(np.linalg.norm(reference))
+    if norm_c < _EPS or norm_r < _EPS:
+        return 0.0
+    value = float(np.dot(candidate, reference)) / (norm_c * norm_r)
+    return min(1.0, max(0.0, value))
+
+
+def cosine_distance(candidate: np.ndarray, reference: np.ndarray) -> float:
+    """The paper's printed formula: ``1 − cosine_similarity``."""
+    return 1.0 - cosine_similarity(candidate, reference)
+
+
+def intersection_similarity(candidate: np.ndarray, reference: np.ndarray) -> float:
+    """Histogram intersection: Σ min(c_j, r_j) (1 for identical
+    normalised histograms)."""
+    _validate(candidate, reference)
+    if candidate.sum() < _EPS or reference.sum() < _EPS:
+        return 0.0
+    return float(np.minimum(candidate, reference).sum())
+
+
+def chi_square_similarity(candidate: np.ndarray, reference: np.ndarray) -> float:
+    """1 − χ²/2 with the symmetric chi-square statistic.
+
+    For normalised histograms the symmetric χ² statistic lies in
+    [0, 2] (2 at disjoint support), so this maps exactly onto [0, 1]
+    with 1 = identical and 0 = disjoint.
+    """
+    _validate(candidate, reference)
+    total_c = candidate.sum()
+    total_r = reference.sum()
+    if total_c < _EPS or total_r < _EPS:
+        return 0.0
+    p = candidate / total_c
+    q = reference / total_r
+    denominator = p + q
+    mask = denominator > _EPS
+    chi2 = float(np.sum((p[mask] - q[mask]) ** 2 / denominator[mask]))
+    return max(0.0, 1.0 - chi2 / 2.0)
+
+
+def bhattacharyya_similarity(candidate: np.ndarray, reference: np.ndarray) -> float:
+    """Bhattacharyya coefficient Σ √(c_j·r_j) ∈ [0, 1]."""
+    _validate(candidate, reference)
+    if candidate.sum() < _EPS or reference.sum() < _EPS:
+        return 0.0
+    return float(np.sqrt(candidate * reference).sum())
+
+
+def jensen_shannon_similarity(candidate: np.ndarray, reference: np.ndarray) -> float:
+    """1 − JSD(c‖r) with the base-2 Jensen–Shannon divergence."""
+    _validate(candidate, reference)
+    total_c = candidate.sum()
+    total_r = reference.sum()
+    if total_c < _EPS or total_r < _EPS:
+        return 0.0
+    p = candidate / total_c
+    q = reference / total_r
+    mid = (p + q) / 2.0
+
+    def _kl(a: np.ndarray, b: np.ndarray) -> float:
+        mask = a > _EPS
+        return float(np.sum(a[mask] * np.log2(a[mask] / b[mask])))
+
+    divergence = (_kl(p, mid) + _kl(q, mid)) / 2.0
+    return max(0.0, 1.0 - divergence)
+
+
+_MEASURES: dict[str, SimilarityMeasure] = {
+    "cosine": cosine_similarity,
+    "intersection": intersection_similarity,
+    "chi2": chi_square_similarity,
+    "bhattacharyya": bhattacharyya_similarity,
+    "jensen-shannon": jensen_shannon_similarity,
+}
+
+
+def similarity_measure_by_name(name: str) -> SimilarityMeasure:
+    """Look up a similarity measure (``cosine`` is the paper's)."""
+    try:
+        return _MEASURES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown similarity measure {name!r}; available: {sorted(_MEASURES)}"
+        ) from None

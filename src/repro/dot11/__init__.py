@@ -1,0 +1,32 @@
+"""802.11 frame, addressing and PHY model.
+
+This subpackage is the substrate every other layer builds on: a typed
+model of 802.11 frames (:mod:`repro.dot11.frames`), MAC addresses
+(:mod:`repro.dot11.mac`), PHY rates and airtime computation
+(:mod:`repro.dot11.phy`), MAC-layer timing constants
+(:mod:`repro.dot11.timing`) and the monitor-mode view of a frame
+(:mod:`repro.dot11.capture`).
+
+All times are expressed in **microseconds** unless stated otherwise;
+sizes are in bytes and rates in Mbps, matching the units used in the
+paper and in Radiotap headers.
+"""
+
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.frames import Dot11Frame, FrameSubtype, FrameType
+from repro.dot11.mac import BROADCAST, MacAddress
+from repro.dot11.phy import Phy, PhyKind, frame_airtime_us
+from repro.dot11.timing import MacTiming
+
+__all__ = [
+    "BROADCAST",
+    "CapturedFrame",
+    "Dot11Frame",
+    "FrameSubtype",
+    "FrameType",
+    "MacAddress",
+    "MacTiming",
+    "Phy",
+    "PhyKind",
+    "frame_airtime_us",
+]

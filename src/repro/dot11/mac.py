@@ -1,0 +1,143 @@
+"""MAC addresses, OUI vendor registry and address generation.
+
+802.11 identifies stations by 48-bit MAC addresses.  The paper's
+fingerprinting method groups captured frames by *source address*, so a
+small but correct address model matters: broadcast/multicast detection
+decides which frames count as "broadcast data" (Section VI-C of the
+paper), and locally-administered addresses model the MAC-randomisation
+privacy countermeasure discussed in Section VII-B3.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}[:\-]){5}[0-9a-fA-F]{2}$")
+
+#: A small vendor OUI registry.  Real deployments would load the IEEE
+#: registry; for simulation we only need plausible, distinct vendors.
+OUI_REGISTRY: dict[str, str] = {
+    "00:13:e8": "Intel",
+    "00:21:6a": "Intel",
+    "00:14:a4": "Atheros",
+    "00:1d:6a": "Atheros",
+    "00:18:f8": "Broadcom",
+    "00:26:82": "Broadcom",
+    "00:09:2d": "Ralink",
+    "00:1f:3b": "Ralink",
+    "00:0e:8e": "Realtek",
+    "00:e0:4c": "Realtek",
+    "00:17:ab": "Apple",
+    "00:23:12": "Apple",
+    "00:12:47": "Samsung",
+    "00:16:6b": "Samsung",
+    "00:0f:b5": "Netgear",
+    "00:14:6c": "Netgear",
+    "00:18:39": "Cisco-Linksys",
+    "00:0c:41": "Cisco-Linksys",
+    "00:15:6d": "Ubiquiti",
+    "00:02:6f": "Senao",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class MacAddress:
+    """An immutable 48-bit MAC address.
+
+    The integer representation keeps hashing and comparisons cheap; the
+    canonical textual form is colon-separated lowercase hex.
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 1 << 48:
+            raise ValueError(f"MAC address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse ``aa:bb:cc:dd:ee:ff`` (or ``-`` separated) notation."""
+        if not _MAC_RE.match(text):
+            raise ValueError(f"invalid MAC address: {text!r}")
+        return cls(int(text.replace("-", ":").replace(":", ""), 16))
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "MacAddress":
+        """Build an address from its 6-byte wire representation."""
+        if len(raw) != 6:
+            raise ValueError(f"MAC address needs 6 bytes, got {len(raw)}")
+        return cls(int.from_bytes(raw, "big"))
+
+    def to_bytes(self) -> bytes:
+        """Return the 6-byte big-endian wire representation."""
+        return self.value.to_bytes(6, "big")
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for ``ff:ff:ff:ff:ff:ff``."""
+        return self.value == (1 << 48) - 1
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the I/G bit (LSB of the first octet) is set."""
+        return bool((self.value >> 40) & 0x01)
+
+    @property
+    def is_locally_administered(self) -> bool:
+        """True when the U/L bit is set (e.g. randomised addresses)."""
+        return bool((self.value >> 40) & 0x02)
+
+    @property
+    def oui(self) -> str:
+        """The first three octets in ``aa:bb:cc`` form."""
+        return str(self)[:8]
+
+    @property
+    def vendor(self) -> str | None:
+        """Vendor name if the OUI is in the bundled registry."""
+        return OUI_REGISTRY.get(self.oui)
+
+    def randomized(self, rng: random.Random) -> "MacAddress":
+        """Return a fresh locally-administered unicast address.
+
+        Models the MAC-randomisation countermeasure: the station keeps
+        its hardware identity but presents a new random address.
+        """
+        value = rng.getrandbits(48)
+        value |= 0x02 << 40  # locally administered
+        value &= ~(0x01 << 40) & ((1 << 48) - 1)  # unicast
+        return MacAddress(value)
+
+    def __str__(self) -> str:
+        raw = self.value.to_bytes(6, "big")
+        return ":".join(f"{b:02x}" for b in raw)
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+
+#: The all-ones broadcast address.
+BROADCAST = MacAddress((1 << 48) - 1)
+
+
+def vendor_mac(vendor_oui: str, serial: int) -> MacAddress:
+    """Build a deterministic unicast address under a vendor OUI.
+
+    ``serial`` fills the lower 24 bits, so distinct serials under the
+    same OUI never collide.
+    """
+    if not 0 <= serial < 1 << 24:
+        raise ValueError(f"serial out of range: {serial}")
+    prefix = int(vendor_oui.replace(":", ""), 16)
+    return MacAddress((prefix << 24) | serial)
+
+
+def mac_sequence(vendor_oui: str, start: int = 1) -> Iterator[MacAddress]:
+    """Yield an endless sequence of addresses under one OUI."""
+    serial = start
+    while True:
+        yield vendor_mac(vendor_oui, serial)
+        serial += 1

@@ -1,0 +1,79 @@
+"""MAC-layer timing constants (SIFS, DIFS, slots, contention windows).
+
+These constants drive the DCF engine and therefore directly shape the
+*medium access time* and *inter-arrival time* histograms the paper
+measures: Figure 4's inter-arrival peaks sit at
+``DIFS + k × slot + airtime`` for slot index ``k``, and contention-free
+bursts are separated by SIFS (Figure 5b).
+
+Timing differs between pure 802.11b (long slots) and 802.11g/mixed
+mode; the values below follow IEEE 802.11-2007 for the 2.4 GHz band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dot11.phy import PhyKind
+
+
+@dataclass(frozen=True, slots=True)
+class MacTiming:
+    """The DCF timing parameter set of a station or network.
+
+    ``cw_min``/``cw_max`` are the contention-window bounds as *window
+    sizes* (the standard's CWmin=15 means backoff slots drawn from
+    [0, 15]).
+    """
+
+    slot_us: float
+    sifs_us: float
+    cw_min: int
+    cw_max: int
+
+    def __post_init__(self) -> None:
+        if self.slot_us <= 0 or self.sifs_us <= 0:
+            raise ValueError("slot and SIFS durations must be positive")
+        if not 0 < self.cw_min <= self.cw_max:
+            raise ValueError(f"invalid CW bounds: [{self.cw_min}, {self.cw_max}]")
+
+    @property
+    def difs_us(self) -> float:
+        """DIFS = SIFS + 2 × slot."""
+        return self.sifs_us + 2 * self.slot_us
+
+    @property
+    def eifs_us(self) -> float:
+        """EIFS used after a reception error (SIFS + ACK time + DIFS).
+
+        The ACK airtime term is approximated at the lowest mandatory
+        rate; EIFS only needs to be "much longer than DIFS" for the
+        simulation's purposes.
+        """
+        return self.sifs_us + 112.0 + self.difs_us
+
+    def backoff_window(self, retry_count: int) -> int:
+        """Contention window after ``retry_count`` retries (binary
+        exponential backoff, clamped at ``cw_max``)."""
+        if retry_count < 0:
+            raise ValueError("retry_count must be >= 0")
+        return min((self.cw_min + 1) * (1 << retry_count) - 1, self.cw_max)
+
+
+#: 802.11b (DSSS) timing: 20 µs slots, 10 µs SIFS, CWmin 31.
+TIMING_B = MacTiming(slot_us=20.0, sifs_us=10.0, cw_min=31, cw_max=1023)
+#: 802.11g-only (ERP-OFDM) timing: 9 µs short slots, CWmin 15.
+TIMING_G = MacTiming(slot_us=9.0, sifs_us=10.0, cw_min=15, cw_max=1023)
+#: 802.11b/g mixed-mode: g rates but long slots for b compatibility.
+TIMING_BG_MIXED = MacTiming(slot_us=20.0, sifs_us=10.0, cw_min=15, cw_max=1023)
+
+
+def timing_for(kind: PhyKind, mixed_mode: bool = False) -> MacTiming:
+    """Timing profile for a modulation family.
+
+    ``mixed_mode`` selects the b-compatible long-slot variant that most
+    real 2.4 GHz networks (and the paper's traces) operate in.
+    """
+    if kind is PhyKind.DSSS:
+        return TIMING_B
+    return TIMING_BG_MIXED if mixed_mode else TIMING_G

@@ -1,0 +1,178 @@
+"""802.11 MAC header wire codec.
+
+Serialises :class:`repro.dot11.frames.Dot11Frame` objects to the exact
+on-air byte layout (frame control, duration/ID, address fields,
+sequence control, QoS control where applicable, payload, FCS) and
+parses them back.  The FCS is a real IEEE CRC-32 so produced captures
+are indistinguishable from card output at the MAC layer.
+
+Only the subtypes in :class:`repro.dot11.frames.FrameSubtype` are
+supported — the set a 2.4 GHz b/g monitor actually encounters.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.dot11.frames import Dot11Frame, FrameSubtype, FrameType
+from repro.dot11.mac import MacAddress
+
+_FCS_LEN = 4
+_SEQ = struct.Struct("<H")
+
+
+class Dot11CodecError(ValueError):
+    """Raised on malformed 802.11 frame bytes."""
+
+
+def _frame_control(frame: Dot11Frame) -> bytes:
+    """Build the 2-byte frame-control field."""
+    first = (frame.subtype.ftype.value << 2) | (frame.subtype.subtype_code << 4)
+    second = (
+        (1 if frame.to_ds else 0)
+        | (2 if frame.from_ds else 0)
+        | (8 if frame.retry else 0)
+        | (16 if frame.power_mgmt else 0)
+        | (64 if frame.protected else 0)
+    )
+    return bytes([first, second])
+
+
+def _addr1_only(frame: Dot11Frame) -> bool:
+    return frame.subtype in (FrameSubtype.ACK, FrameSubtype.CTS)
+
+
+def _addr12_only(frame: Dot11Frame) -> bool:
+    return frame.subtype in (
+        FrameSubtype.RTS,
+        FrameSubtype.PS_POLL,
+        FrameSubtype.BLOCK_ACK,
+        FrameSubtype.BLOCK_ACK_REQ,
+    )
+
+
+def _is_qos(frame: Dot11Frame) -> bool:
+    return frame.subtype in (FrameSubtype.QOS_DATA, FrameSubtype.QOS_NULL)
+
+
+def header_length(frame: Dot11Frame) -> int:
+    """MAC header length (bytes) for this frame's format."""
+    if _addr1_only(frame):
+        return 10
+    if _addr12_only(frame):
+        return 16
+    base = 24
+    return base + 2 if _is_qos(frame) else base
+
+
+def encode_dot11(frame: Dot11Frame) -> bytes:
+    """Serialise a frame to its on-air bytes (with FCS).
+
+    The payload is zero-padded (or truncated) so the output is exactly
+    ``frame.size`` bytes, which keeps the Radiotap-visible size
+    authoritative — the same invariant capture hardware maintains.
+    """
+    parts = bytearray()
+    parts += _frame_control(frame)
+    parts += struct.pack("<H", frame.duration_us & 0xFFFF)
+    parts += frame.addr1.to_bytes()
+    if not _addr1_only(frame):
+        addr2 = frame.addr2
+        if addr2 is None:
+            raise Dot11CodecError(f"{frame.subtype.label} frame requires addr2")
+        parts += addr2.to_bytes()
+        if not _addr12_only(frame):
+            addr3 = frame.addr3 if frame.addr3 is not None else frame.addr1
+            parts += addr3.to_bytes()
+            parts += _SEQ.pack((frame.seq & 0x0FFF) << 4)
+            if _is_qos(frame):
+                parts += b"\x00\x00"
+
+    body_budget = frame.size - len(parts) - _FCS_LEN
+    if body_budget < 0:
+        raise Dot11CodecError(
+            f"frame.size={frame.size} smaller than {frame.subtype.label} "
+            f"header ({len(parts)}) + FCS"
+        )
+    payload = frame.payload[:body_budget]
+    parts += payload
+    parts += b"\x00" * (body_budget - len(payload))
+    parts += struct.pack("<I", zlib.crc32(bytes(parts)))
+    return bytes(parts)
+
+
+@dataclass(slots=True)
+class DecodedDot11:
+    """Result of parsing frame bytes: the frame plus FCS validity."""
+
+    frame: Dot11Frame
+    fcs_ok: bool
+
+
+def decode_dot11(data: bytes, has_fcs: bool = True) -> DecodedDot11:
+    """Parse on-air 802.11 bytes back into a :class:`Dot11Frame`.
+
+    ``has_fcs`` mirrors the radiotap Flags bit: when set, the trailing
+    four bytes are checked as a CRC-32.
+    """
+    if len(data) < 10:
+        raise Dot11CodecError(f"frame too short: {len(data)} bytes")
+    ftype_code = (data[0] >> 2) & 0x3
+    subtype_code = (data[0] >> 4) & 0xF
+    if (data[0] & 0x3) != 0:
+        raise Dot11CodecError(f"unsupported 802.11 protocol version: {data[0] & 0x3}")
+    subtype = FrameSubtype.from_codes(ftype_code, subtype_code)
+    control = data[1]
+    (duration,) = struct.unpack_from("<H", data, 2)
+    addr1 = MacAddress.from_bytes(data[4:10])
+
+    addr2: MacAddress | None = None
+    addr3: MacAddress | None = None
+    seq = 0
+    offset = 10
+    if subtype not in (FrameSubtype.ACK, FrameSubtype.CTS):
+        if len(data) < offset + 6:
+            raise Dot11CodecError("truncated addr2")
+        addr2 = MacAddress.from_bytes(data[offset : offset + 6])
+        offset += 6
+        three_address = subtype.ftype in (FrameType.MANAGEMENT, FrameType.DATA)
+        if three_address:
+            if len(data) < offset + 8:
+                raise Dot11CodecError("truncated addr3/seq")
+            addr3 = MacAddress.from_bytes(data[offset : offset + 6])
+            offset += 6
+            (raw_seq,) = _SEQ.unpack_from(data, offset)
+            seq = raw_seq >> 4
+            offset += 2
+            if subtype in (FrameSubtype.QOS_DATA, FrameSubtype.QOS_NULL):
+                if len(data) < offset + 2:
+                    raise Dot11CodecError("truncated QoS control")
+                offset += 2
+
+    fcs_ok = True
+    payload_end = len(data)
+    if has_fcs:
+        if len(data) < offset + _FCS_LEN:
+            raise Dot11CodecError("frame too short to contain FCS")
+        payload_end = len(data) - _FCS_LEN
+        (stored,) = struct.unpack_from("<I", data, payload_end)
+        fcs_ok = stored == zlib.crc32(data[:payload_end])
+
+    frame = Dot11Frame(
+        subtype=subtype,
+        size=len(data) if has_fcs else len(data) + _FCS_LEN,
+        addr1=addr1,
+        addr2=addr2,
+        addr3=addr3,
+        retry=bool(control & 8),
+        to_ds=bool(control & 1),
+        from_ds=bool(control & 2),
+        protected=bool(control & 64),
+        power_mgmt=bool(control & 16),
+        duration_us=duration,
+        seq=seq,
+        payload=bytes(data[offset:payload_end]),
+    )
+    return DecodedDot11(frame=frame, fcs_ok=fcs_ok)

@@ -1,0 +1,123 @@
+"""Radiotap field table: bit numbers, wire sizes and alignment.
+
+Radiotap fields appear in bit-number order after the fixed 8-byte
+header, each aligned to its *natural alignment* (the alignment of its
+largest primitive member).  The ``present`` word may chain: bit 31 set
+means another 32-bit ``present`` word follows.
+
+Only the fields a passive 802.11b/g fingerprinting setup needs are
+implemented, but the table is the single source of truth — adding a
+field means adding one row here and its pack/unpack entry in the
+parser/writer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Channel flags (subset) for the Channel field.
+CHAN_CCK = 0x0020
+CHAN_OFDM = 0x0040
+CHAN_2GHZ = 0x0080
+CHAN_DYN = 0x0400
+
+#: Flags field bits (subset).
+FLAG_SHORTPRE = 0x02
+FLAG_WEP = 0x04
+FLAG_FCS_AT_END = 0x10
+FLAG_BADFCS = 0x40
+
+
+class RadiotapField(enum.IntEnum):
+    """Radiotap ``present`` bit numbers."""
+
+    TSFT = 0
+    FLAGS = 1
+    RATE = 2
+    CHANNEL = 3
+    FHSS = 4
+    DBM_ANTSIGNAL = 5
+    DBM_ANTNOISE = 6
+    LOCK_QUALITY = 7
+    TX_ATTENUATION = 8
+    DB_TX_ATTENUATION = 9
+    DBM_TX_POWER = 10
+    ANTENNA = 11
+    DB_ANTSIGNAL = 12
+    DB_ANTNOISE = 13
+    RX_FLAGS = 14
+    EXT = 31
+
+
+@dataclass(frozen=True, slots=True)
+class FieldSpec:
+    """Wire size and alignment of one radiotap field."""
+
+    field: RadiotapField
+    size: int
+    align: int
+
+
+#: Field specs in present-bit order.  Size/alignment per radiotap.org.
+FIELD_SPECS: dict[RadiotapField, FieldSpec] = {
+    RadiotapField.TSFT: FieldSpec(RadiotapField.TSFT, 8, 8),
+    RadiotapField.FLAGS: FieldSpec(RadiotapField.FLAGS, 1, 1),
+    RadiotapField.RATE: FieldSpec(RadiotapField.RATE, 1, 1),
+    RadiotapField.CHANNEL: FieldSpec(RadiotapField.CHANNEL, 4, 2),
+    RadiotapField.FHSS: FieldSpec(RadiotapField.FHSS, 2, 1),
+    RadiotapField.DBM_ANTSIGNAL: FieldSpec(RadiotapField.DBM_ANTSIGNAL, 1, 1),
+    RadiotapField.DBM_ANTNOISE: FieldSpec(RadiotapField.DBM_ANTNOISE, 1, 1),
+    RadiotapField.LOCK_QUALITY: FieldSpec(RadiotapField.LOCK_QUALITY, 2, 2),
+    RadiotapField.TX_ATTENUATION: FieldSpec(RadiotapField.TX_ATTENUATION, 2, 2),
+    RadiotapField.DB_TX_ATTENUATION: FieldSpec(RadiotapField.DB_TX_ATTENUATION, 2, 2),
+    RadiotapField.DBM_TX_POWER: FieldSpec(RadiotapField.DBM_TX_POWER, 1, 1),
+    RadiotapField.ANTENNA: FieldSpec(RadiotapField.ANTENNA, 1, 1),
+    RadiotapField.DB_ANTSIGNAL: FieldSpec(RadiotapField.DB_ANTSIGNAL, 1, 1),
+    RadiotapField.DB_ANTNOISE: FieldSpec(RadiotapField.DB_ANTNOISE, 1, 1),
+    RadiotapField.RX_FLAGS: FieldSpec(RadiotapField.RX_FLAGS, 2, 2),
+}
+
+
+def align_offset(offset: int, align: int) -> int:
+    """Round ``offset`` up to the next multiple of ``align``."""
+    if align <= 0:
+        raise ValueError(f"alignment must be positive: {align}")
+    remainder = offset % align
+    return offset if remainder == 0 else offset + (align - remainder)
+
+
+def channel_frequency_mhz(channel: int) -> int:
+    """Centre frequency of a 2.4 GHz channel number (1–14)."""
+    if not 1 <= channel <= 14:
+        raise ValueError(f"not a 2.4 GHz channel: {channel}")
+    if channel == 14:
+        return 2484
+    return 2407 + 5 * channel
+
+
+def channel_from_frequency(freq_mhz: int) -> int:
+    """Inverse of :func:`channel_frequency_mhz`."""
+    if freq_mhz == 2484:
+        return 14
+    channel, remainder = divmod(freq_mhz - 2407, 5)
+    if remainder != 0 or not 1 <= channel <= 13:
+        raise ValueError(f"not a 2.4 GHz channel frequency: {freq_mhz} MHz")
+    return channel
+
+
+def encode_rate(rate_mbps: float) -> int:
+    """Encode a rate into radiotap's 500 kbps units."""
+    units = round(rate_mbps * 2)
+    if not 0 < units <= 0xFF:
+        raise ValueError(f"rate not radiotap-encodable: {rate_mbps} Mbps")
+    if abs(units / 2 - rate_mbps) > 1e-9:
+        raise ValueError(f"rate not a multiple of 500 kbps: {rate_mbps} Mbps")
+    return units
+
+
+def decode_rate(units: int) -> float:
+    """Decode radiotap 500 kbps units into Mbps."""
+    if units <= 0:
+        raise ValueError(f"invalid radiotap rate byte: {units}")
+    return units / 2.0

@@ -1,0 +1,152 @@
+"""Radiotap header parser.
+
+Implements the full alignment/present-chaining logic of the radiotap
+specification for the fields in :data:`repro.radiotap.fields.FIELD_SPECS`.
+Unknown high-numbered fields cannot be skipped safely (their size is
+unknown), so a present bit outside the spec table raises — with the
+exception of vendor namespaces, which carry an explicit skip length and
+are handled.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.radiotap.fields import (
+    FIELD_SPECS,
+    FLAG_BADFCS,
+    FLAG_FCS_AT_END,
+    RadiotapField,
+    align_offset,
+    channel_from_frequency,
+    decode_rate,
+)
+
+_HEADER = struct.Struct("<BBHI")
+
+
+class RadiotapError(ValueError):
+    """Raised on malformed radiotap headers."""
+
+
+@dataclass(slots=True)
+class RadiotapHeader:
+    """Parsed radiotap metadata.
+
+    ``length`` is the total radiotap header length; the 802.11 frame
+    begins at that offset in the capture buffer.
+    """
+
+    length: int
+    tsft_us: int | None = None
+    flags: int | None = None
+    rate_mbps: float | None = None
+    channel_mhz: int | None = None
+    channel_flags: int | None = None
+    antenna_signal_dbm: int | None = None
+    antenna_noise_dbm: int | None = None
+    antenna: int | None = None
+    rx_flags: int | None = None
+    present_bits: list[int] = field(default_factory=list)
+
+    @property
+    def channel(self) -> int | None:
+        """2.4 GHz channel number, if the Channel field was present."""
+        if self.channel_mhz is None:
+            return None
+        return channel_from_frequency(self.channel_mhz)
+
+    @property
+    def has_fcs(self) -> bool:
+        """Whether the captured frame bytes include the 4-byte FCS."""
+        return bool(self.flags is not None and self.flags & FLAG_FCS_AT_END)
+
+    @property
+    def fcs_bad(self) -> bool:
+        """Whether the capture card flagged a failed FCS check."""
+        return bool(self.flags is not None and self.flags & FLAG_BADFCS)
+
+
+def _read_present_words(data: bytes) -> tuple[list[int], int]:
+    """Read the chained ``present`` words; return (words, end offset)."""
+    words: list[int] = []
+    offset = 4
+    while True:
+        if offset + 4 > len(data):
+            raise RadiotapError("truncated radiotap present chain")
+        (word,) = struct.unpack_from("<I", data, offset)
+        words.append(word)
+        offset += 4
+        if not word & (1 << RadiotapField.EXT):
+            return words, offset
+
+
+def parse_radiotap(data: bytes) -> RadiotapHeader:
+    """Parse a radiotap header from the start of ``data``.
+
+    Returns the parsed header; ``data[header.length:]`` is the 802.11
+    frame.  Raises :class:`RadiotapError` on malformed input.
+    """
+    if len(data) < 8:
+        raise RadiotapError(f"buffer too short for radiotap: {len(data)} bytes")
+    version, _pad, length, _present0 = _HEADER.unpack_from(data)
+    if version != 0:
+        raise RadiotapError(f"unsupported radiotap version: {version}")
+    if length < 8 or length > len(data):
+        raise RadiotapError(f"bad radiotap length: {length} (buffer {len(data)})")
+
+    words, offset = _read_present_words(data[:length])
+    header = RadiotapHeader(length=length)
+
+    # Only the first present word's fields are decoded; additional words
+    # belong to vendor/extended namespaces we do not emit.  Their data
+    # regions cannot be located without namespace knowledge, so any
+    # non-EXT bit in later words is an error.
+    for extra in words[1:]:
+        if extra & ~(1 << RadiotapField.EXT):
+            raise RadiotapError("radiotap extended namespaces are not supported")
+
+    present = words[0]
+    for bit in range(31):
+        if not present & (1 << bit):
+            continue
+        try:
+            spec = FIELD_SPECS[RadiotapField(bit)]
+        except (ValueError, KeyError):
+            raise RadiotapError(f"unsupported radiotap field bit {bit}") from None
+        offset = align_offset(offset, spec.align)
+        if offset + spec.size > length:
+            raise RadiotapError(f"field {spec.field.name} overruns radiotap header")
+        _decode_field(header, spec.field, data, offset)
+        header.present_bits.append(bit)
+        offset += spec.size
+    return header
+
+
+def _decode_field(
+    header: RadiotapHeader, which: RadiotapField, data: bytes, offset: int
+) -> None:
+    """Decode one field into ``header`` (offset already aligned)."""
+    if which is RadiotapField.TSFT:
+        (header.tsft_us,) = struct.unpack_from("<Q", data, offset)
+    elif which is RadiotapField.FLAGS:
+        header.flags = data[offset]
+    elif which is RadiotapField.RATE:
+        header.rate_mbps = decode_rate(data[offset])
+    elif which is RadiotapField.CHANNEL:
+        freq, chan_flags = struct.unpack_from("<HH", data, offset)
+        header.channel_mhz = freq
+        header.channel_flags = chan_flags
+    elif which is RadiotapField.DBM_ANTSIGNAL:
+        (header.antenna_signal_dbm,) = struct.unpack_from("<b", data, offset)
+    elif which is RadiotapField.DBM_ANTNOISE:
+        (header.antenna_noise_dbm,) = struct.unpack_from("<b", data, offset)
+    elif which is RadiotapField.ANTENNA:
+        header.antenna = data[offset]
+    elif which is RadiotapField.RX_FLAGS:
+        (header.rx_flags,) = struct.unpack_from("<H", data, offset)
+    else:
+        # Present in the spec table but carrying data we do not use
+        # (FHSS, attenuation, tx power, dB-relative signal): skip.
+        pass

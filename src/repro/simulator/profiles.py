@@ -1,0 +1,302 @@
+"""Chipset/driver behaviour profiles.
+
+Everything the paper attributes device distinctiveness to lives here,
+as explicit parameters instead of silicon:
+
+* **random-backoff quirks** (Section VI-A1, Figure 4) — loose
+  implementations: an extra early slot, first-slot bias, truncated or
+  low-biased slot distributions, non-standard CWmin ([11], [5]);
+* **timing personality** — small fixed DIFS/turnaround offsets and
+  clock jitter, the µs-level texture that makes inter-arrival
+  histograms device-specific;
+* **virtual carrier sensing** (Section VI-A2, Figure 5) — RTS
+  threshold: disabled, hard-coded, or user-set;
+* **rate control** (Section VI-B, Figure 6) — which adaptation
+  algorithm the driver runs;
+* **power save** (Section VI-D, Figure 8) — null-function signalling
+  cadence, or disabled ("several cards deactivate the power management
+  feature under Linux");
+* **probe scanning** ([9]) — period and burst shape of active scans.
+
+A profile describes a *card+driver combination*; several simulated
+devices may share one profile (they are then only separable through
+their traffic/services mix — exactly the paper's netbook experiment,
+Figure 7).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.dot11.phy import DSSS_RATES, OFDM_RATES, Phy
+
+
+class BackoffStyle(enum.Enum):
+    """Shape of the random-backoff slot distribution."""
+
+    #: Standard-conformant: uniform over [0, CW].
+    UNIFORM = "uniform"
+    #: Adds one extra slot *before* slot 0 (Figure 4, first device).
+    EXTRA_EARLY_SLOT = "extra_early_slot"
+    #: Sends in the first slot with elevated probability ([5]).
+    FIRST_SLOT_BIAS = "first_slot_bias"
+    #: Only ever uses the lower half of the contention window.
+    TRUNCATED = "truncated"
+    #: Quadratically biased towards low slots.
+    LOW_BIASED = "low_biased"
+
+
+def draw_backoff(style: BackoffStyle, cw: int, rng: random.Random) -> int:
+    """Draw a backoff slot count under ``style`` for window ``cw``.
+
+    A return of ``-1`` encodes the non-standard early slot (the station
+    fires one slot *before* the standard's first slot).
+    """
+    if cw < 1:
+        raise ValueError(f"contention window must be >= 1: {cw}")
+    if style is BackoffStyle.UNIFORM:
+        return rng.randint(0, cw)
+    if style is BackoffStyle.EXTRA_EARLY_SLOT:
+        return rng.randint(-1, cw)
+    if style is BackoffStyle.FIRST_SLOT_BIAS:
+        if rng.random() < 0.30:
+            return 0
+        return rng.randint(0, cw)
+    if style is BackoffStyle.TRUNCATED:
+        return rng.randint(0, max(cw // 2, 1))
+    if style is BackoffStyle.LOW_BIASED:
+        return int((cw + 1) * rng.random() ** 2) % (cw + 1)
+    raise AssertionError(f"unhandled backoff style: {style}")
+
+
+class RateAlgorithm(enum.Enum):
+    """Which rate-adaptation algorithm the driver runs."""
+
+    FIXED_54 = "fixed_54"
+    FIXED_11 = "fixed_11"
+    ARF = "arf"
+    AARF = "aarf"
+    SNR = "snr"
+    SNR_JITTERY = "snr_jittery"
+
+
+@dataclass(frozen=True, slots=True)
+class PowerSaveBehaviour:
+    """Null-function power-save signalling cadence.
+
+    When enabled, the station emits PM=1/PM=0 null-frame pairs with a
+    driver-characteristic period and wake gap — the signal isolated in
+    the paper's Figure 8.
+    """
+
+    enabled: bool = False
+    period_ms: float = 300.0
+    period_jitter_ms: float = 40.0
+    wake_gap_ms: float = 12.0
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeBehaviour:
+    """Active-scan behaviour (probe-request bursts, per [9])."""
+
+    period_s: float = 60.0
+    period_jitter_s: float = 8.0
+    burst_size: int = 3
+    intra_burst_gap_ms: float = 20.0
+    probe_size: int = 120
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceProfile:
+    """One card+driver combination's complete MAC behaviour."""
+
+    name: str
+    oui: str
+    backoff_style: BackoffStyle = BackoffStyle.UNIFORM
+    cw_min: int = 15
+    #: Constant implementation offset added to every DIFS wait (µs).
+    difs_offset_us: float = 0.0
+    #: Gaussian jitter applied to each access wait (µs, sigma).
+    timing_jitter_us: float = 1.0
+    #: SIFS turnaround slack of the card's state machine (µs).
+    sifs_offset_us: float = 0.0
+    rts_threshold: int | None = None
+    rate_algorithm: RateAlgorithm = RateAlgorithm.SNR
+    qos_capable: bool = True
+    short_preamble: bool = True
+    b_only: bool = False
+    power_save: PowerSaveBehaviour = field(default_factory=PowerSaveBehaviour)
+    probes: ProbeBehaviour = field(default_factory=ProbeBehaviour)
+    retry_limit: int = 7
+
+    def phy(self) -> Phy:
+        """The PHY this profile drives."""
+        rates = DSSS_RATES if self.b_only else tuple(sorted(DSSS_RATES + OFDM_RATES))
+        return Phy(supported_rates=rates, short_preamble=self.short_preamble)
+
+
+#: Library of distinct card+driver personalities.  Parameter spreads
+#: are drawn from the heterogeneity reported by Gopinath et al. [11],
+#: Berger-Sabbatel et al. [5] and Franklin et al. [9].
+PROFILE_LIBRARY: tuple[DeviceProfile, ...] = (
+    DeviceProfile(
+        name="intel-2200bg-linux",
+        oui="00:13:e8",
+        backoff_style=BackoffStyle.UNIFORM,
+        cw_min=15,
+        difs_offset_us=1.0,
+        timing_jitter_us=0.8,
+        rts_threshold=None,
+        rate_algorithm=RateAlgorithm.AARF,
+        power_save=PowerSaveBehaviour(enabled=True, period_ms=280, period_jitter_ms=30),
+        probes=ProbeBehaviour(period_s=55, burst_size=3, intra_burst_gap_ms=18),
+    ),
+    DeviceProfile(
+        name="intel-3945abg-win",
+        oui="00:21:6a",
+        backoff_style=BackoffStyle.FIRST_SLOT_BIAS,
+        cw_min=15,
+        difs_offset_us=2.5,
+        timing_jitter_us=1.2,
+        rts_threshold=2347,
+        rate_algorithm=RateAlgorithm.ARF,
+        power_save=PowerSaveBehaviour(enabled=True, period_ms=210, period_jitter_ms=15),
+        probes=ProbeBehaviour(period_s=42, burst_size=4, intra_burst_gap_ms=12),
+    ),
+    DeviceProfile(
+        name="atheros-ar5212-madwifi",
+        oui="00:14:a4",
+        backoff_style=BackoffStyle.EXTRA_EARLY_SLOT,
+        cw_min=15,
+        difs_offset_us=-1.5,
+        timing_jitter_us=0.6,
+        rts_threshold=None,
+        rate_algorithm=RateAlgorithm.SNR,
+        power_save=PowerSaveBehaviour(enabled=False),
+        probes=ProbeBehaviour(period_s=75, burst_size=2, intra_burst_gap_ms=35),
+    ),
+    DeviceProfile(
+        name="atheros-ar9285-ath9k",
+        oui="00:1d:6a",
+        backoff_style=BackoffStyle.UNIFORM,
+        cw_min=15,
+        difs_offset_us=0.0,
+        timing_jitter_us=0.4,
+        rts_threshold=2000,
+        rate_algorithm=RateAlgorithm.SNR,
+        power_save=PowerSaveBehaviour(enabled=False),
+        probes=ProbeBehaviour(period_s=63, burst_size=3, intra_burst_gap_ms=22),
+    ),
+    DeviceProfile(
+        name="broadcom-4318-win",
+        oui="00:18:f8",
+        backoff_style=BackoffStyle.TRUNCATED,
+        cw_min=31,
+        difs_offset_us=3.0,
+        timing_jitter_us=1.8,
+        rts_threshold=None,
+        rate_algorithm=RateAlgorithm.ARF,
+        qos_capable=False,
+        power_save=PowerSaveBehaviour(enabled=True, period_ms=350, period_jitter_ms=60),
+        probes=ProbeBehaviour(period_s=30, burst_size=5, intra_burst_gap_ms=8),
+    ),
+    DeviceProfile(
+        name="broadcom-43224-osx",
+        oui="00:26:82",
+        backoff_style=BackoffStyle.LOW_BIASED,
+        cw_min=15,
+        difs_offset_us=1.8,
+        timing_jitter_us=0.9,
+        rts_threshold=None,
+        rate_algorithm=RateAlgorithm.SNR_JITTERY,
+        power_save=PowerSaveBehaviour(enabled=True, period_ms=180, period_jitter_ms=10, wake_gap_ms=6),
+        probes=ProbeBehaviour(period_s=48, burst_size=3, intra_burst_gap_ms=15),
+    ),
+    DeviceProfile(
+        name="ralink-rt2500-linux",
+        oui="00:09:2d",
+        backoff_style=BackoffStyle.EXTRA_EARLY_SLOT,
+        cw_min=31,
+        difs_offset_us=-2.0,
+        timing_jitter_us=2.2,
+        rts_threshold=1500,
+        rate_algorithm=RateAlgorithm.ARF,
+        qos_capable=False,
+        power_save=PowerSaveBehaviour(enabled=False),
+        probes=ProbeBehaviour(period_s=90, burst_size=2, intra_burst_gap_ms=40),
+    ),
+    DeviceProfile(
+        name="ralink-rt73-win",
+        oui="00:1f:3b",
+        backoff_style=BackoffStyle.FIRST_SLOT_BIAS,
+        cw_min=15,
+        difs_offset_us=4.0,
+        timing_jitter_us=1.5,
+        rts_threshold=2347,
+        rate_algorithm=RateAlgorithm.AARF,
+        power_save=PowerSaveBehaviour(enabled=True, period_ms=420, period_jitter_ms=80),
+        probes=ProbeBehaviour(period_s=38, burst_size=4, intra_burst_gap_ms=10),
+    ),
+    DeviceProfile(
+        name="realtek-rtl8187-linux",
+        oui="00:0e:8e",
+        backoff_style=BackoffStyle.TRUNCATED,
+        cw_min=15,
+        difs_offset_us=-0.8,
+        timing_jitter_us=2.8,
+        rts_threshold=None,
+        rate_algorithm=RateAlgorithm.FIXED_54,
+        qos_capable=False,
+        power_save=PowerSaveBehaviour(enabled=False),
+        probes=ProbeBehaviour(period_s=110, burst_size=1, intra_burst_gap_ms=0),
+    ),
+    DeviceProfile(
+        name="realtek-rtl8180-b-only",
+        oui="00:e0:4c",
+        backoff_style=BackoffStyle.UNIFORM,
+        cw_min=31,
+        difs_offset_us=2.0,
+        timing_jitter_us=3.0,
+        rts_threshold=None,
+        rate_algorithm=RateAlgorithm.FIXED_11,
+        qos_capable=False,
+        short_preamble=False,
+        b_only=True,
+        power_save=PowerSaveBehaviour(enabled=False),
+        probes=ProbeBehaviour(period_s=130, burst_size=1, intra_burst_gap_ms=0, probe_size=90),
+    ),
+    DeviceProfile(
+        name="apple-bcm4321-osx",
+        oui="00:17:ab",
+        backoff_style=BackoffStyle.LOW_BIASED,
+        cw_min=15,
+        difs_offset_us=0.5,
+        timing_jitter_us=0.5,
+        rts_threshold=None,
+        rate_algorithm=RateAlgorithm.SNR,
+        power_save=PowerSaveBehaviour(enabled=True, period_ms=150, period_jitter_ms=8, wake_gap_ms=4),
+        probes=ProbeBehaviour(period_s=35, burst_size=6, intra_burst_gap_ms=6, probe_size=150),
+    ),
+    DeviceProfile(
+        name="samsung-mobile",
+        oui="00:12:47",
+        backoff_style=BackoffStyle.FIRST_SLOT_BIAS,
+        cw_min=15,
+        difs_offset_us=3.5,
+        timing_jitter_us=1.1,
+        rts_threshold=2347,
+        rate_algorithm=RateAlgorithm.SNR_JITTERY,
+        power_save=PowerSaveBehaviour(enabled=True, period_ms=520, period_jitter_ms=120, wake_gap_ms=20),
+        probes=ProbeBehaviour(period_s=25, burst_size=4, intra_burst_gap_ms=9, probe_size=135),
+    ),
+)
+
+
+def profile_by_name(name: str) -> DeviceProfile:
+    """Look up a profile in the library by its name."""
+    for profile in PROFILE_LIBRARY:
+        if profile.name == name:
+            return profile
+    raise KeyError(f"unknown device profile: {name!r}")

@@ -1,0 +1,210 @@
+"""Rate-adaptation algorithms.
+
+Section VI-B of the paper shows that the *rate-switching behaviour* of
+a card is itself a fingerprintable trait (Figure 6: one device holds
+54 Mbps, the other switches constantly) and that rate variation feeds
+straight into inter-arrival histograms.  Real chipsets ship different
+algorithms, so the profile library assigns different controllers:
+
+* :class:`FixedRateControl` — pinned rate (common for old drivers);
+* :class:`ArfRateControl` — Auto Rate Fallback: N successes → step up,
+  2 consecutive failures → step down;
+* :class:`AarfRateControl` — Adaptive ARF: the success threshold
+  doubles after a failed probe, making upward moves rarer;
+* :class:`SnrRateControl` — driver picks the best rate for the current
+  SNR estimate (models firmware with fast channel feedback).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.dot11.phy import Phy
+from repro.simulator.channel import ChannelModel
+
+
+class RateControl(Protocol):
+    """Interface every rate controller implements."""
+
+    def current_rate(self) -> float:
+        """Rate (Mbps) to use for the next data transmission."""
+        ...
+
+    def on_result(self, success: bool) -> None:
+        """Feed back the outcome of a (possibly retried) transmission."""
+        ...
+
+    def on_snr_hint(self, snr_db: float) -> None:
+        """Optional channel-state hint (used by SNR-driven control)."""
+        ...
+
+
+class FixedRateControl:
+    """Always transmit at one configured rate."""
+
+    __slots__ = ("_rate",)
+
+    def __init__(self, rate_mbps: float) -> None:
+        self._rate = rate_mbps
+
+    def current_rate(self) -> float:
+        return self._rate
+
+    def on_result(self, success: bool) -> None:  # noqa: ARG002 - fixed by design
+        return None
+
+    def on_snr_hint(self, snr_db: float) -> None:  # noqa: ARG002
+        return None
+
+
+class ArfRateControl:
+    """Classic Auto Rate Fallback.
+
+    ``success_threshold`` consecutive successes (or a timeout, omitted
+    here) step the rate up; ``failure_threshold`` consecutive failures
+    step it down.
+    """
+
+    __slots__ = ("_phy", "_rate", "_successes", "_failures", "success_threshold", "failure_threshold")
+
+    def __init__(
+        self,
+        phy: Phy,
+        initial_rate: float | None = None,
+        success_threshold: int = 10,
+        failure_threshold: int = 2,
+    ) -> None:
+        self._phy = phy
+        self._rate = initial_rate if initial_rate is not None else phy.supported_rates[0]
+        self._successes = 0
+        self._failures = 0
+        self.success_threshold = success_threshold
+        self.failure_threshold = failure_threshold
+
+    def current_rate(self) -> float:
+        return self._rate
+
+    def on_result(self, success: bool) -> None:
+        if success:
+            self._failures = 0
+            self._successes += 1
+            if self._successes >= self.success_threshold:
+                self._successes = 0
+                self._rate = self._phy.next_rate_up(self._rate)
+        else:
+            self._successes = 0
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._failures = 0
+                self._rate = self._phy.next_rate_down(self._rate)
+
+    def on_snr_hint(self, snr_db: float) -> None:  # noqa: ARG002
+        return None
+
+
+class AarfRateControl(ArfRateControl):
+    """Adaptive ARF: failed upward probes double the success threshold."""
+
+    __slots__ = ("_base_threshold", "_just_stepped_up", "_max_threshold")
+
+    def __init__(
+        self,
+        phy: Phy,
+        initial_rate: float | None = None,
+        success_threshold: int = 10,
+        failure_threshold: int = 2,
+        max_threshold: int = 160,
+    ) -> None:
+        super().__init__(phy, initial_rate, success_threshold, failure_threshold)
+        self._base_threshold = success_threshold
+        self._just_stepped_up = False
+        self._max_threshold = max_threshold
+
+    def on_result(self, success: bool) -> None:
+        previous_rate = self._rate
+        super().on_result(success)
+        if self._rate > previous_rate:
+            self._just_stepped_up = True
+        elif self._rate < previous_rate:
+            if self._just_stepped_up:
+                self.success_threshold = min(
+                    self.success_threshold * 2, self._max_threshold
+                )
+            self._just_stepped_up = False
+        elif success and self._successes == 0 and previous_rate == self._rate:
+            # A full success run at the top rate resets adaptivity.
+            self.success_threshold = self._base_threshold
+
+
+class SnrRateControl:
+    """Pick the best rate for the most recent SNR estimate.
+
+    A small hysteresis (only move when the ideal rate differs for
+    ``hold`` consecutive hints) avoids oscillation on shadowing noise.
+    """
+
+    __slots__ = ("_phy", "_channel", "_rate", "_pending_rate", "_pending_count", "hold")
+
+    def __init__(
+        self, phy: Phy, channel: ChannelModel, initial_rate: float | None = None, hold: int = 3
+    ) -> None:
+        self._phy = phy
+        self._channel = channel
+        self._rate = initial_rate if initial_rate is not None else phy.supported_rates[-1]
+        self._pending_rate = self._rate
+        self._pending_count = 0
+        self.hold = hold
+
+    def current_rate(self) -> float:
+        return self._rate
+
+    def on_result(self, success: bool) -> None:
+        if not success:
+            self._rate = self._phy.next_rate_down(self._rate)
+
+    def on_snr_hint(self, snr_db: float) -> None:
+        ideal = self._channel.best_rate_for_snr(snr_db, self._phy.supported_rates)
+        if ideal == self._pending_rate:
+            self._pending_count += 1
+        else:
+            self._pending_rate = ideal
+            self._pending_count = 1
+        if self._pending_count >= self.hold and ideal != self._rate:
+            self._rate = ideal
+
+
+class JitteryRateControl:
+    """Wrap another controller, occasionally probing a random rate.
+
+    Models chipsets that continuously sample alternative rates (the
+    "changes its transmission rate more frequently" device of
+    Figure 6d).
+    """
+
+    __slots__ = ("_inner", "_phy", "_rng", "probe_probability")
+
+    def __init__(
+        self,
+        inner: RateControl,
+        phy: Phy,
+        rng: random.Random,
+        probe_probability: float = 0.15,
+    ) -> None:
+        if not 0 <= probe_probability <= 1:
+            raise ValueError(f"probe probability out of range: {probe_probability}")
+        self._inner = inner
+        self._phy = phy
+        self._rng = rng
+        self.probe_probability = probe_probability
+
+    def current_rate(self) -> float:
+        if self._rng.random() < self.probe_probability:
+            return self._rng.choice(self._phy.supported_rates)
+        return self._inner.current_rate()
+
+    def on_result(self, success: bool) -> None:
+        self._inner.on_result(success)
+
+    def on_snr_hint(self, snr_db: float) -> None:
+        self._inner.on_snr_hint(snr_db)

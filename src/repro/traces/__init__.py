@@ -1,0 +1,41 @@
+"""Trace handling: containers, canonical datasets, filters, statistics.
+
+A :class:`~repro.traces.trace.Trace` is an ordered capture with naming
+metadata; :mod:`repro.traces.datasets` builds the four canonical
+evaluation scenarios standing in for the paper's office/conference
+captures; :mod:`repro.traces.stats` summarises them (Table I).
+"""
+
+from repro.traces.datasets import (
+    DatasetSpec,
+    clear_dataset_cache,
+    conference_trace,
+    office_trace,
+    paper_datasets,
+)
+from repro.traces.filters import (
+    broadcast_data_only,
+    data_frames_only,
+    first_transmissions_only,
+    null_function_only,
+    sent_at_rate,
+)
+from repro.traces.stats import TraceStats, summarize_trace
+from repro.traces.trace import Trace, TraceSplit
+
+__all__ = [
+    "DatasetSpec",
+    "Trace",
+    "TraceSplit",
+    "TraceStats",
+    "broadcast_data_only",
+    "clear_dataset_cache",
+    "conference_trace",
+    "data_frames_only",
+    "first_transmissions_only",
+    "null_function_only",
+    "office_trace",
+    "paper_datasets",
+    "sent_at_rate",
+    "summarize_trace",
+]

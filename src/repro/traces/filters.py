@@ -1,0 +1,62 @@
+"""Frame predicates used by the Section VI factor experiments.
+
+The paper repeatedly conditions histograms on frame subsets: Figure 4
+uses "only data frames transmitted the first time (no retries) and sent
+at 54 Mbps", Figure 7 "only data broadcast frames", Figure 8 "solely
+Data null function frames".  These composable predicates express those
+conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.dot11.capture import CapturedFrame
+
+FramePredicate = Callable[[CapturedFrame], bool]
+
+
+def data_frames_only(captured: CapturedFrame) -> bool:
+    """Data-type frames (including QoS and null variants)."""
+    return captured.frame.is_data
+
+
+def first_transmissions_only(captured: CapturedFrame) -> bool:
+    """Frames with the retry bit clear (first transmission)."""
+    return not captured.frame.retry
+
+
+def broadcast_data_only(captured: CapturedFrame) -> bool:
+    """Group-addressed data frames (the Figure 7 condition)."""
+    return captured.frame.is_data and captured.frame.is_multicast
+
+
+def null_function_only(captured: CapturedFrame) -> bool:
+    """(QoS) null-function frames (the Figure 8 condition)."""
+    return captured.frame.is_null_function
+
+
+def sent_at_rate(rate_mbps: float) -> FramePredicate:
+    """Factory: frames transmitted at exactly ``rate_mbps``."""
+
+    def predicate(captured: CapturedFrame) -> bool:
+        return abs(captured.rate_mbps - rate_mbps) < 1e-9
+
+    return predicate
+
+
+def combine(*predicates: FramePredicate) -> FramePredicate:
+    """Conjunction of predicates."""
+
+    def predicate(captured: CapturedFrame) -> bool:
+        return all(p(captured) for p in predicates)
+
+    return predicate
+
+
+def filter_frames(
+    frames: Iterable[CapturedFrame], *predicates: FramePredicate
+) -> list[CapturedFrame]:
+    """Apply a conjunction of predicates to a frame sequence."""
+    joint = combine(*predicates)
+    return [c for c in frames if joint(c)]

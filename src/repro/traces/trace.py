@@ -1,0 +1,131 @@
+"""The :class:`Trace` container and train/validation splitting.
+
+A trace is an immutable, time-ordered list of captured frames plus
+metadata (name, encryption, device-name mapping for ground truth).
+Splitting and windowing follow the paper's evaluation protocol: a
+training prefix builds the reference database, the remainder is cut
+into fixed detection windows (5 minutes in the paper) that each yield
+one candidate signature per active device.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.mac import MacAddress
+
+
+@dataclass
+class Trace:
+    """A time-ordered 802.11 capture with ground-truth metadata."""
+
+    frames: list[CapturedFrame]
+    name: str = ""
+    encrypted: bool = False
+    device_names: dict[MacAddress, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        previous = -1.0
+        for captured in self.frames:
+            if captured.timestamp_us < previous - 1e-6:
+                raise ValueError(f"trace {self.name!r} is not time-ordered")
+            previous = captured.timestamp_us
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[CapturedFrame]:
+        return iter(self.frames)
+
+    @property
+    def start_us(self) -> float:
+        """Timestamp of the first frame (0 for an empty trace)."""
+        return self.frames[0].timestamp_us if self.frames else 0.0
+
+    @property
+    def end_us(self) -> float:
+        """Timestamp of the last frame (0 for an empty trace)."""
+        return self.frames[-1].timestamp_us if self.frames else 0.0
+
+    @property
+    def duration_s(self) -> float:
+        """Observed span of the trace in seconds."""
+        return (self.end_us - self.start_us) / 1e6
+
+    def senders(self) -> set[MacAddress]:
+        """All attributable senders appearing in the trace."""
+        return {c.sender for c in self.frames if c.sender is not None}
+
+    def frames_of(self, sender: MacAddress) -> list[CapturedFrame]:
+        """All frames attributed to one sender."""
+        return [c for c in self.frames if c.sender == sender]
+
+    # ------------------------------------------------------------------
+    def slice_us(self, start_us: float, end_us: float) -> "Trace":
+        """Sub-trace with timestamps in ``[start_us, end_us)``."""
+        stamps = [c.timestamp_us for c in self.frames]
+        lo = bisect.bisect_left(stamps, start_us)
+        hi = bisect.bisect_left(stamps, end_us)
+        return Trace(
+            frames=self.frames[lo:hi],
+            name=self.name,
+            encrypted=self.encrypted,
+            device_names=self.device_names,
+        )
+
+    def split(self, training_s: float) -> "TraceSplit":
+        """Split into a training prefix and a validation remainder.
+
+        ``training_s`` is measured from the trace start, matching the
+        paper's "first hour / first 20 minutes" protocol.
+        """
+        if training_s <= 0:
+            raise ValueError(f"training duration must be positive: {training_s}")
+        boundary = self.start_us + training_s * 1e6
+        return TraceSplit(
+            training=self.slice_us(self.start_us, boundary),
+            validation=self.slice_us(boundary, self.end_us + 1.0),
+        )
+
+    def windows(self, window_s: float) -> Iterator["Trace"]:
+        """Cut the trace into fixed-size detection windows.
+
+        The last partial window is included — short candidate windows
+        simply yield fewer observations and fall below the
+        minimum-observation threshold naturally.
+        """
+        if window_s <= 0:
+            raise ValueError(f"window size must be positive: {window_s}")
+        step = window_s * 1e6
+        start = self.start_us
+        while start <= self.end_us:
+            yield self.slice_us(start, start + step)
+            start += step
+
+    # ------------------------------------------------------------------
+    def to_pcap(self, path: str | Path) -> int:
+        """Persist as a radiotap pcap; returns the frame count."""
+        from repro.radiotap.pcap import write_trace_pcap
+
+        return write_trace_pcap(path, self.frames)
+
+    @classmethod
+    def from_pcap(
+        cls, path: str | Path, name: str = "", encrypted: bool = False
+    ) -> "Trace":
+        """Load a radiotap pcap from disk."""
+        from repro.radiotap.pcap import read_trace_pcap
+
+        return cls(frames=read_trace_pcap(path), name=name or str(path), encrypted=encrypted)
+
+
+@dataclass(slots=True)
+class TraceSplit:
+    """Training/validation pair produced by :meth:`Trace.split`."""
+
+    training: Trace
+    validation: Trace

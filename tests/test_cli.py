@@ -1,0 +1,134 @@
+"""Tests for the command-line tool."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, load_database, main, save_database
+from repro.core.database import ReferenceDatabase
+from repro.core.parameters import InterArrivalTime
+from repro.core.signature import SignatureBuilder
+
+
+@pytest.fixture(scope="module")
+def office_pcap(tmp_path_factory, small_office_trace):
+    path = tmp_path_factory.mktemp("cli") / "office.pcap"
+    small_office_trace.to_pcap(path)
+    return path
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("learn", "match", "evaluate", "simulate", "histogram"):
+            args = None
+            try:
+                if command == "learn":
+                    args = parser.parse_args(["learn", "x.pcap", "--db", "d.json"])
+                elif command == "match":
+                    args = parser.parse_args(["match", "x.pcap", "--db", "d.json"])
+                elif command == "evaluate":
+                    args = parser.parse_args(["evaluate", "x.pcap", "--training-s", "60"])
+                elif command == "simulate":
+                    args = parser.parse_args(["simulate", "office2", "--out", "o.pcap"])
+                else:
+                    args = parser.parse_args(
+                        ["histogram", "x.pcap", "--device", "00:11:22:33:44:55"]
+                    )
+            except SystemExit:  # pragma: no cover
+                pytest.fail(f"subcommand {command} failed to parse")
+            assert args.command == command
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestDatabasePersistence:
+    def test_round_trip(self, tmp_path, small_office_trace):
+        builder = SignatureBuilder(InterArrivalTime(), min_observations=50)
+        database = ReferenceDatabase.from_training(
+            builder, small_office_trace.frames
+        )
+        path = tmp_path / "db.json"
+        save_database(database, "interarrival", path)
+        loaded, parameter_name = load_database(path)
+        assert parameter_name == "interarrival"
+        assert set(loaded.devices) == set(database.devices)
+        device = database.devices[0]
+        original = database.get(device)
+        restored = loaded.get(device)
+        assert original.frame_types == restored.frame_types
+        for ftype in original.frame_types:
+            assert original.weight(ftype) == pytest.approx(restored.weight(ftype))
+
+    def test_json_is_valid(self, tmp_path, small_office_trace):
+        builder = SignatureBuilder(InterArrivalTime(), min_observations=50)
+        database = ReferenceDatabase.from_training(
+            builder, small_office_trace.frames
+        )
+        path = tmp_path / "db.json"
+        save_database(database, "interarrival", path)
+        payload = json.loads(path.read_text())
+        assert "devices" in payload and payload["parameter"] == "interarrival"
+
+
+class TestCommands:
+    def test_learn_then_match(self, tmp_path, office_pcap, capsys):
+        db_path = tmp_path / "refs.json"
+        assert main(["learn", str(office_pcap), "--db", str(db_path)]) == 0
+        out = capsys.readouterr().out
+        assert "learnt" in out
+        assert main(
+            ["match", str(office_pcap), "--db", str(db_path), "--window-s", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MATCH" in out
+
+    def test_evaluate(self, office_pcap, capsys):
+        code = main(
+            [
+                "evaluate",
+                str(office_pcap),
+                "--training-s",
+                "30",
+                "--window-s",
+                "15",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Inter-arrival time" in out
+        assert "AUC" in out
+
+    def test_histogram(self, office_pcap, small_office_trace, capsys):
+        device = sorted(small_office_trace.senders(), key=lambda m: m.value)[0]
+        code = main(
+            [
+                "histogram",
+                str(office_pcap),
+                "--device",
+                str(device),
+                "--min-observations",
+                "30",
+            ]
+        )
+        assert code == 0
+        assert "weight" in capsys.readouterr().out
+
+    def test_histogram_unknown_device(self, office_pcap, capsys):
+        code = main(
+            ["histogram", str(office_pcap), "--device", "00:00:00:00:00:99"]
+        )
+        assert code == 1
+
+    def test_simulate(self, tmp_path, capsys):
+        out_path = tmp_path / "sim.pcap"
+        code = main(
+            ["simulate", "office2", "--out", str(out_path), "--scale", "0.05"]
+        )
+        assert code == 0
+        assert out_path.exists()
+        assert "wrote" in capsys.readouterr().out

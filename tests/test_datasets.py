@@ -1,0 +1,105 @@
+"""Tests for the canonical datasets and trace statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.datasets import (
+    DatasetSpec,
+    _spec,
+    build_dataset,
+    clear_dataset_cache,
+    conference_trace,
+    office_trace,
+)
+from repro.traces.stats import summarize_trace
+
+
+@pytest.fixture(scope="module")
+def tiny_conference():
+    """A scaled-down conference dataset (fast enough for unit tests)."""
+    return build_dataset(_spec("conference2", scale=0.12))
+
+
+@pytest.fixture(scope="module")
+def tiny_office():
+    return build_dataset(_spec("office2", scale=0.12))
+
+
+class TestSpecs:
+    def test_canonical_specs(self):
+        conf1 = _spec("conference1", 1.0)
+        office1 = _spec("office1", 1.0)
+        assert conf1.device_count > office1.device_count
+        assert not conf1.encrypted and office1.encrypted
+        assert conf1.mobile and not office1.mobile
+        assert conf1.churn and not office1.churn
+
+    def test_long_short_ratio(self):
+        conf1 = _spec("conference1", 1.0)
+        conf2 = _spec("conference2", 1.0)
+        assert conf1.duration_s > conf2.duration_s
+        assert conf1.candidate_s > conf1.training_s
+
+    def test_scaling(self):
+        base = _spec("office1", 1.0)
+        scaled = _spec("office1", 2.0)
+        assert scaled.duration_s == base.duration_s * 2
+        assert scaled.device_count == base.device_count * 2
+
+    def test_invalid_selector(self):
+        with pytest.raises(ValueError):
+            conference_trace(3)
+        with pytest.raises(ValueError):
+            office_trace(0)
+
+
+class TestBuiltDatasets:
+    def test_conference_properties(self, tiny_conference):
+        assert not tiny_conference.encrypted
+        assert len(tiny_conference) > 1000
+        assert tiny_conference.duration_s > 100
+        assert len(tiny_conference.senders()) >= 2
+
+    def test_office_encrypted(self, tiny_office):
+        assert tiny_office.encrypted
+        protected = [c for c in tiny_office.frames if c.frame.protected]
+        assert protected
+
+    def test_device_names_cover_senders(self, tiny_conference):
+        named = set(tiny_conference.device_names)
+        # Every attributable sender in the trace was declared.
+        assert tiny_conference.senders() <= named
+
+    def test_deterministic(self):
+        first = build_dataset(_spec("office2", scale=0.08))
+        second = build_dataset(_spec("office2", scale=0.08))
+        assert len(first) == len(second)
+        assert [c.timestamp_us for c in first.frames[:100]] == [
+            c.timestamp_us for c in second.frames[:100]
+        ]
+
+    def test_cache_identity(self):
+        clear_dataset_cache()
+        a = office_trace(2, scale=0.08)
+        b = office_trace(2, scale=0.08)
+        assert a is b
+        clear_dataset_cache()
+        c = office_trace(2, scale=0.08)
+        assert c is not a
+
+
+class TestStats:
+    def test_table1_row(self, tiny_office):
+        spec = _spec("office2", scale=0.12)
+        stats = summarize_trace(tiny_office, spec.training_s, min_observations=30)
+        assert stats.encryption_label == "WPA"
+        assert stats.total_frames == len(tiny_office)
+        assert stats.reference_devices >= 1
+        assert stats.distinct_senders >= stats.reference_devices
+        assert stats.attributed_frames < stats.total_frames  # ACKs exist
+
+    def test_conference_label(self, tiny_conference):
+        spec = _spec("conference2", scale=0.12)
+        stats = summarize_trace(tiny_conference, spec.training_s)
+        assert stats.encryption_label == "None"

@@ -1,0 +1,160 @@
+"""Unit and property tests for the 802.11 MAC wire codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dot11.frames import Dot11Frame, FrameSubtype, ack_frame, cts_frame, rts_frame
+from repro.dot11.mac import BROADCAST, MacAddress
+from repro.radiotap.dot11_codec import (
+    Dot11CodecError,
+    decode_dot11,
+    encode_dot11,
+    header_length,
+)
+
+A = MacAddress.parse("00:13:e8:00:00:01")
+B = MacAddress.parse("00:18:f8:00:00:02")
+C = MacAddress.parse("00:14:a4:00:00:03")
+
+
+class TestHeaderLengths:
+    def test_ack_cts_header(self):
+        assert header_length(ack_frame(A)) == 10
+        assert header_length(cts_frame(A)) == 10
+
+    def test_rts_header(self):
+        assert header_length(rts_frame(A, B, 100)) == 16
+
+    def test_data_header(self):
+        frame = Dot11Frame(subtype=FrameSubtype.DATA, size=100, addr1=B, addr2=A)
+        assert header_length(frame) == 24
+
+    def test_qos_data_header(self):
+        frame = Dot11Frame(subtype=FrameSubtype.QOS_DATA, size=100, addr1=B, addr2=A)
+        assert header_length(frame) == 26
+
+
+class TestRoundTrip:
+    def test_data_frame(self):
+        frame = Dot11Frame(
+            subtype=FrameSubtype.QOS_DATA,
+            size=1200,
+            addr1=B,
+            addr2=A,
+            addr3=C,
+            retry=True,
+            to_ds=True,
+            protected=True,
+            power_mgmt=True,
+            duration_us=314,
+            seq=1234,
+            payload=b"hello world",
+        )
+        raw = encode_dot11(frame)
+        assert len(raw) == 1200
+        decoded = decode_dot11(raw)
+        assert decoded.fcs_ok
+        back = decoded.frame
+        assert back.subtype is FrameSubtype.QOS_DATA
+        assert (back.addr1, back.addr2, back.addr3) == (B, A, C)
+        assert back.retry and back.to_ds and back.protected and back.power_mgmt
+        assert back.duration_us == 314
+        assert back.seq == 1234
+        assert back.payload.startswith(b"hello world")
+
+    def test_ack_round_trip(self):
+        raw = encode_dot11(ack_frame(A))
+        decoded = decode_dot11(raw)
+        assert decoded.frame.subtype is FrameSubtype.ACK
+        assert decoded.frame.addr1 == A
+        assert decoded.frame.transmitter is None
+
+    def test_rts_round_trip(self):
+        raw = encode_dot11(rts_frame(A, B, 765))
+        decoded = decode_dot11(raw)
+        assert decoded.frame.subtype is FrameSubtype.RTS
+        assert decoded.frame.transmitter == A
+        assert decoded.frame.duration_us == 765
+
+    def test_beacon_round_trip(self):
+        frame = Dot11Frame(
+            subtype=FrameSubtype.BEACON, size=180, addr1=BROADCAST, addr2=A, addr3=A
+        )
+        decoded = decode_dot11(encode_dot11(frame))
+        assert decoded.frame.subtype is FrameSubtype.BEACON
+        assert decoded.frame.is_broadcast
+
+    @given(
+        subtype=st.sampled_from(
+            [
+                FrameSubtype.DATA,
+                FrameSubtype.QOS_DATA,
+                FrameSubtype.NULL_FUNCTION,
+                FrameSubtype.PROBE_REQUEST,
+                FrameSubtype.BEACON,
+                FrameSubtype.PROBE_RESPONSE,
+            ]
+        ),
+        size=st.integers(min_value=40, max_value=2346),
+        seq=st.integers(min_value=0, max_value=4095),
+        retry=st.booleans(),
+        protected=st.booleans(),
+    )
+    def test_round_trip_property(self, subtype, size, seq, retry, protected):
+        frame = Dot11Frame(
+            subtype=subtype,
+            size=size,
+            addr1=B,
+            addr2=A,
+            addr3=C,
+            seq=seq,
+            retry=retry,
+            protected=protected,
+        )
+        raw = encode_dot11(frame)
+        assert len(raw) == size
+        decoded = decode_dot11(raw)
+        assert decoded.fcs_ok
+        assert decoded.frame.subtype is subtype
+        assert decoded.frame.size == size
+        assert decoded.frame.seq == seq
+        assert decoded.frame.retry == retry
+        assert decoded.frame.protected == protected
+
+
+class TestFcs:
+    def test_corruption_detected(self):
+        raw = bytearray(encode_dot11(ack_frame(A)))
+        raw[-1] ^= 0xFF
+        assert not decode_dot11(bytes(raw)).fcs_ok
+
+    def test_payload_corruption_detected(self):
+        frame = Dot11Frame(subtype=FrameSubtype.DATA, size=200, addr1=B, addr2=A)
+        raw = bytearray(encode_dot11(frame))
+        raw[100] ^= 0x01
+        assert not decode_dot11(bytes(raw)).fcs_ok
+
+
+class TestErrors:
+    def test_size_smaller_than_header(self):
+        frame = Dot11Frame(subtype=FrameSubtype.QOS_DATA, size=20, addr1=B, addr2=A)
+        with pytest.raises(Dot11CodecError):
+            encode_dot11(frame)
+
+    def test_missing_addr2(self):
+        frame = Dot11Frame(subtype=FrameSubtype.DATA, size=100, addr1=B)
+        with pytest.raises(Dot11CodecError):
+            encode_dot11(frame)
+
+    def test_truncated_input(self):
+        with pytest.raises(Dot11CodecError):
+            decode_dot11(b"\x08\x00\x00")
+
+    def test_bad_protocol_version(self):
+        raw = bytearray(encode_dot11(ack_frame(A)))
+        raw[0] |= 0x03
+        with pytest.raises(Dot11CodecError):
+            decode_dot11(bytes(raw))

@@ -1,0 +1,84 @@
+"""Unit tests for the event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.events import EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        queue = EventQueue()
+        fired: list[str] = []
+        queue.schedule(30.0, lambda: fired.append("c"))
+        queue.schedule(10.0, lambda: fired.append("a"))
+        queue.schedule(20.0, lambda: fired.append("b"))
+        queue.run_until(100.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        queue = EventQueue()
+        fired: list[int] = []
+        for index in range(5):
+            queue.schedule(10.0, lambda i=index: fired.append(i))
+        queue.run_until(10.0)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        queue = EventQueue()
+        seen: list[float] = []
+        queue.schedule(5.0, lambda: seen.append(queue.now))
+        queue.schedule(9.0, lambda: seen.append(queue.now))
+        queue.run_until(20.0)
+        assert seen == [5.0, 9.0]
+        assert queue.now == 20.0
+
+
+class TestScheduling:
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        queue.run_until(50.0)
+        with pytest.raises(ValueError):
+            queue.schedule(10.0, lambda: None)
+
+    def test_schedule_in_relative(self):
+        queue = EventQueue()
+        queue.run_until(10.0)
+        fired = []
+        queue.schedule_in(5.0, lambda: fired.append(queue.now))
+        queue.run_until(20.0)
+        assert fired == [15.0]
+
+    def test_events_beyond_horizon_stay_queued(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(100.0, lambda: fired.append("late"))
+        queue.run_until(50.0)
+        assert not fired
+        assert len(queue) == 1
+        queue.run_until(150.0)
+        assert fired == ["late"]
+
+    def test_cascading_events(self):
+        queue = EventQueue()
+        fired: list[float] = []
+
+        def chain(depth: int) -> None:
+            fired.append(queue.now)
+            if depth:
+                queue.schedule_in(1.0, lambda: chain(depth - 1))
+
+        queue.schedule(0.0, lambda: chain(3))
+        queue.run_until(10.0)
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_run_all_guard(self):
+        queue = EventQueue()
+
+        def forever() -> None:
+            queue.schedule_in(1.0, forever)
+
+        queue.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            queue.run_all(safety_limit=1000)

@@ -1,0 +1,113 @@
+"""Unit tests for the 802.11 frame model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dot11.frames import (
+    ACK_SIZE,
+    CTS_SIZE,
+    Dot11Frame,
+    FrameSubtype,
+    FrameType,
+    RTS_SIZE,
+    ack_frame,
+    cts_frame,
+    null_frame,
+    rts_frame,
+)
+from repro.dot11.mac import BROADCAST, MacAddress
+
+A = MacAddress.parse("00:13:e8:00:00:01")
+B = MacAddress.parse("00:18:f8:00:00:02")
+
+
+class TestSubtypeTaxonomy:
+    def test_types_of_subtypes(self):
+        assert FrameSubtype.BEACON.ftype is FrameType.MANAGEMENT
+        assert FrameSubtype.RTS.ftype is FrameType.CONTROL
+        assert FrameSubtype.QOS_DATA.ftype is FrameType.DATA
+
+    def test_wire_code_round_trip(self):
+        for subtype in FrameSubtype:
+            back = FrameSubtype.from_codes(subtype.ftype.value, subtype.subtype_code)
+            assert back is subtype
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            FrameSubtype.from_codes(1, 0)  # control subtype 0 not defined
+
+    def test_labels_unique(self):
+        labels = [subtype.label for subtype in FrameSubtype]
+        assert len(labels) == len(set(labels))
+
+    def test_anonymous_frames(self):
+        assert not FrameSubtype.ACK.has_transmitter_address
+        assert not FrameSubtype.CTS.has_transmitter_address
+        assert FrameSubtype.RTS.has_transmitter_address
+        assert FrameSubtype.QOS_DATA.has_transmitter_address
+
+
+class TestFrameValidation:
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            Dot11Frame(subtype=FrameSubtype.ACK, size=4)
+
+    def test_ack_with_transmitter_rejected(self):
+        with pytest.raises(ValueError):
+            Dot11Frame(subtype=FrameSubtype.ACK, size=14, addr1=A, addr2=B)
+
+    def test_transmitter_property(self):
+        frame = Dot11Frame(subtype=FrameSubtype.QOS_DATA, size=100, addr1=B, addr2=A)
+        assert frame.transmitter == A
+        anonymous = Dot11Frame(subtype=FrameSubtype.ACK, size=14, addr1=A)
+        assert anonymous.transmitter is None
+
+
+class TestFrameProperties:
+    def test_broadcast_flags(self):
+        frame = Dot11Frame(subtype=FrameSubtype.DATA, size=60, addr1=BROADCAST, addr2=A)
+        assert frame.is_broadcast and frame.is_multicast
+
+    def test_multicast_not_broadcast(self):
+        group = MacAddress.parse("01:00:5e:00:00:01")
+        frame = Dot11Frame(subtype=FrameSubtype.DATA, size=60, addr1=group, addr2=A)
+        assert frame.is_multicast and not frame.is_broadcast
+
+    def test_null_function_detection(self):
+        assert null_frame(A, B, power_save=True).is_null_function
+        qos_null = Dot11Frame(subtype=FrameSubtype.QOS_NULL, size=30, addr1=B, addr2=A)
+        assert qos_null.is_null_function
+        data = Dot11Frame(subtype=FrameSubtype.QOS_DATA, size=100, addr1=B, addr2=A)
+        assert not data.is_null_function
+
+    def test_is_data(self):
+        assert Dot11Frame(subtype=FrameSubtype.QOS_NULL, size=30, addr1=B, addr2=A).is_data
+        assert not Dot11Frame(subtype=FrameSubtype.BEACON, size=120, addr1=BROADCAST, addr2=A).is_data
+
+    def test_ftype_key_matches_label(self):
+        frame = Dot11Frame(subtype=FrameSubtype.PROBE_REQUEST, size=100, addr1=BROADCAST, addr2=A)
+        assert frame.ftype_key == "Probe Request"
+
+
+class TestBuilders:
+    def test_ack_builder(self):
+        ack = ack_frame(A)
+        assert ack.size == ACK_SIZE
+        assert ack.addr1 == A
+        assert ack.transmitter is None
+
+    def test_cts_builder(self):
+        cts = cts_frame(A, duration_us=300)
+        assert cts.size == CTS_SIZE
+        assert cts.duration_us == 300
+
+    def test_rts_builder(self):
+        rts = rts_frame(A, B, duration_us=500)
+        assert rts.size == RTS_SIZE
+        assert rts.transmitter == A
+        assert rts.addr1 == B
+
+    def test_null_frame_power_bit(self):
+        assert null_frame(A, B, power_save=True).power_mgmt
+        assert not null_frame(A, B, power_save=False).power_mgmt

@@ -1,0 +1,130 @@
+"""Unit and property tests for histogram binning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.histogram import CategoricalBins, Histogram, UniformBins
+
+
+class TestUniformBins:
+    def test_bin_count(self):
+        assert UniformBins(lo=0, hi=100, width=10).bin_count == 10
+        assert UniformBins(lo=0, hi=105, width=10).bin_count == 11
+
+    def test_index_interior(self):
+        bins = UniformBins(lo=0, hi=100, width=10)
+        assert bins.index(0.0) == 0
+        assert bins.index(9.999) == 0
+        assert bins.index(10.0) == 1
+        assert bins.index(99.9) == 9
+
+    def test_clipping_default(self):
+        bins = UniformBins(lo=0, hi=100, width=10)
+        assert bins.index(-5.0) == 0
+        assert bins.index(150.0) == 9
+
+    def test_drop_outside(self):
+        bins = UniformBins(lo=0, hi=100, width=10, drop_outside=True)
+        assert bins.index(-5.0) is None
+        assert bins.index(150.0) is None
+        assert bins.index(50.0) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformBins(lo=0, hi=100, width=0)
+        with pytest.raises(ValueError):
+            UniformBins(lo=100, hi=100, width=10)
+
+    def test_labels(self):
+        bins = UniformBins(lo=0, hi=30, width=10)
+        assert bins.bin_label(0) == "[0,10)"
+        assert bins.bin_label(2) == "[20,30)"
+
+    @given(st.floats(min_value=0, max_value=99.999, allow_nan=False))
+    def test_index_in_range_property(self, value):
+        bins = UniformBins(lo=0, hi=100, width=7)
+        index = bins.index(value)
+        assert index is not None
+        assert 0 <= index < bins.bin_count
+        low = bins.lo + index * bins.width
+        assert low <= value < low + bins.width + 1e-9
+
+
+class TestCategoricalBins:
+    def test_rate_categories(self):
+        bins = CategoricalBins(categories=(1.0, 2.0, 5.5, 11.0, 54.0))
+        assert bins.index(5.5) == 2
+        assert bins.index(54.0) == 4
+
+    def test_unknown_category_dropped(self):
+        bins = CategoricalBins(categories=(1.0, 2.0))
+        assert bins.index(3.0) is None
+
+    def test_tolerance(self):
+        bins = CategoricalBins(categories=(5.5,), tolerance=0.01)
+        assert bins.index(5.505) == 0
+        assert bins.index(5.6) is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalBins(categories=())
+
+    def test_labels(self):
+        bins = CategoricalBins(categories=(5.5, 54.0))
+        assert bins.bin_label(0) == "5.5"
+        assert bins.bin_label(1) == "54"
+
+
+class TestHistogram:
+    def test_add_and_frequencies(self):
+        histogram = Histogram(UniformBins(lo=0, hi=10, width=1))
+        for value in [0.5, 0.7, 3.2, 9.9]:
+            assert histogram.add(value)
+        frequencies = histogram.frequencies()
+        assert frequencies[0] == pytest.approx(0.5)
+        assert frequencies[3] == pytest.approx(0.25)
+        assert frequencies.sum() == pytest.approx(1.0)
+
+    def test_empty_frequencies_are_zero(self):
+        histogram = Histogram(UniformBins(lo=0, hi=10, width=1))
+        assert histogram.frequencies().sum() == 0.0
+
+    def test_dropped_values_not_counted(self):
+        histogram = Histogram(UniformBins(lo=0, hi=10, width=1, drop_outside=True))
+        assert not histogram.add(50.0)
+        assert histogram.total == 0
+
+    def test_add_many(self):
+        histogram = Histogram(UniformBins(lo=0, hi=10, width=1, drop_outside=True))
+        kept = histogram.add_many([1.0, 2.0, 100.0])
+        assert kept == 2
+
+    def test_merge(self):
+        spec = UniformBins(lo=0, hi=10, width=1)
+        a = Histogram(spec)
+        b = Histogram(spec)
+        a.add_many([1.0, 2.0])
+        b.add_many([2.0, 3.0])
+        merged = a.merged_with(b)
+        assert merged.total == 4
+        assert merged.counts[2] == 2
+
+    def test_merge_spec_mismatch(self):
+        a = Histogram(UniformBins(lo=0, hi=10, width=1))
+        b = Histogram(UniformBins(lo=0, hi=20, width=1))
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    @given(st.lists(st.floats(min_value=-50, max_value=150, allow_nan=False), max_size=200))
+    def test_frequencies_always_normalised(self, values):
+        histogram = Histogram(UniformBins(lo=0, hi=100, width=10))
+        histogram.add_many(values)
+        frequencies = histogram.frequencies()
+        assert np.all(frequencies >= 0)
+        if values:
+            assert frequencies.sum() == pytest.approx(1.0)
+        assert histogram.total == len(values)  # clipping keeps everything

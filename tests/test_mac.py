@@ -1,0 +1,119 @@
+"""Unit tests for MAC address handling."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dot11.mac import (
+    BROADCAST,
+    MacAddress,
+    OUI_REGISTRY,
+    mac_sequence,
+    vendor_mac,
+)
+
+
+class TestParsing:
+    def test_parse_colon_notation(self):
+        mac = MacAddress.parse("00:13:e8:aa:bb:cc")
+        assert str(mac) == "00:13:e8:aa:bb:cc"
+
+    def test_parse_dash_notation(self):
+        assert MacAddress.parse("00-13-e8-aa-bb-cc") == MacAddress.parse(
+            "00:13:e8:aa:bb:cc"
+        )
+
+    def test_parse_uppercase(self):
+        assert str(MacAddress.parse("AA:BB:CC:DD:EE:FF")) == "aa:bb:cc:dd:ee:ff"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "00:13:e8", "00:13:e8:aa:bb:cc:dd", "zz:13:e8:aa:bb:cc", "001122334455"]
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            MacAddress.parse(bad)
+
+    def test_value_range_validation(self):
+        with pytest.raises(ValueError):
+            MacAddress(1 << 48)
+        with pytest.raises(ValueError):
+            MacAddress(-1)
+
+
+class TestBytes:
+    def test_round_trip(self):
+        mac = MacAddress.parse("01:02:03:04:05:06")
+        assert MacAddress.from_bytes(mac.to_bytes()) == mac
+
+    def test_from_bytes_length_check(self):
+        with pytest.raises(ValueError):
+            MacAddress.from_bytes(b"\x00" * 5)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_round_trip_property(self, value):
+        mac = MacAddress(value)
+        assert MacAddress.from_bytes(mac.to_bytes()).value == value
+        assert MacAddress.parse(str(mac)) == mac
+
+
+class TestFlags:
+    def test_broadcast(self):
+        assert BROADCAST.is_broadcast
+        assert BROADCAST.is_multicast
+
+    def test_unicast_is_not_multicast(self):
+        assert not MacAddress.parse("00:13:e8:00:00:01").is_multicast
+
+    def test_multicast_bit(self):
+        assert MacAddress.parse("01:00:5e:00:00:fb").is_multicast
+        assert not MacAddress.parse("01:00:5e:00:00:fb").is_broadcast
+
+    def test_locally_administered(self):
+        assert MacAddress.parse("02:00:00:00:00:01").is_locally_administered
+        assert not MacAddress.parse("00:13:e8:00:00:01").is_locally_administered
+
+
+class TestVendor:
+    def test_known_oui(self):
+        assert MacAddress.parse("00:13:e8:00:00:01").vendor == "Intel"
+
+    def test_unknown_oui(self):
+        assert MacAddress.parse("f2:00:00:00:00:01").vendor is None
+
+    def test_vendor_mac_builder(self):
+        mac = vendor_mac("00:18:f8", 7)
+        assert mac.oui == "00:18:f8"
+        assert mac.vendor == "Broadcom"
+
+    def test_vendor_mac_serial_range(self):
+        with pytest.raises(ValueError):
+            vendor_mac("00:18:f8", 1 << 24)
+
+    def test_registry_ouis_parse(self):
+        for oui in OUI_REGISTRY:
+            mac = vendor_mac(oui, 1)
+            assert mac.oui == oui
+
+    def test_mac_sequence_distinct(self):
+        gen = mac_sequence("00:13:e8")
+        macs = [next(gen) for _ in range(100)]
+        assert len(set(macs)) == 100
+
+
+class TestRandomization:
+    def test_randomized_is_local_unicast(self):
+        rng = random.Random(3)
+        original = MacAddress.parse("00:13:e8:00:00:01")
+        for _ in range(50):
+            pseudo = original.randomized(rng)
+            assert pseudo.is_locally_administered
+            assert not pseudo.is_multicast
+
+    def test_randomized_changes_address(self):
+        rng = random.Random(3)
+        original = MacAddress.parse("00:13:e8:00:00:01")
+        assert original.randomized(rng) != original

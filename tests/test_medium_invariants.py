@@ -1,0 +1,83 @@
+"""Stress-level invariants of the DCF medium under load."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dot11.frames import FrameSubtype
+from repro.dot11.phy import frame_airtime_us
+from repro.simulator import CbrTraffic, Scenario, StationSpec, WebTraffic
+
+
+@pytest.fixture(scope="module")
+def loaded_channel():
+    """Eight saturating stations on one channel for 8 seconds."""
+    scenario = Scenario(duration_s=8.0, seed=99)
+    profiles = [
+        "intel-2200bg-linux",
+        "broadcom-4318-win",
+        "atheros-ar5212-madwifi",
+        "ralink-rt2500-linux",
+        "apple-bcm4321-osx",
+        "samsung-mobile",
+        "realtek-rtl8187-linux",
+        "intel-3945abg-win",
+    ]
+    for index, profile in enumerate(profiles):
+        scenario.add_station(
+            StationSpec(
+                name=f"station-{index}",
+                profile=profile,
+                sources=[CbrTraffic(interval_ms=4), WebTraffic(mean_think_s=1.0)],
+            )
+        )
+    return scenario.run()
+
+
+class TestMediumInvariants:
+    def test_timestamps_monotone(self, loaded_channel):
+        times = [c.timestamp_us for c in loaded_channel.captures]
+        assert times == sorted(times)
+
+    def test_no_overlapping_airtime(self, loaded_channel):
+        """Captured frames never overlap on air: each frame's start
+        (end − airtime) is at or after the previous frame's end, up to
+        the sub-µs tolerance of airtime reconstruction."""
+        previous_end = 0.0
+        for captured in loaded_channel.captures:
+            start = captured.timestamp_us - frame_airtime_us(
+                captured.size, captured.rate_mbps
+            )
+            assert start >= previous_end - 200.0  # long-preamble slack
+            previous_end = captured.timestamp_us
+
+    def test_all_senders_transmit(self, loaded_channel):
+        senders = {c.sender for c in loaded_channel.captures if c.sender}
+        # 8 stations + 1 AP.
+        assert len(senders) == 9
+
+    def test_acks_follow_unicast_data(self, loaded_channel):
+        """Most unicast data frames are followed by an ACK (channel
+        errors may drop a few)."""
+        captures = loaded_channel.captures
+        data_count = 0
+        acked = 0
+        for index, captured in enumerate(captures[:-1]):
+            if (
+                captured.frame.is_data
+                and not captured.frame.addr1.is_multicast
+                and not captured.frame.is_null_function
+            ):
+                data_count += 1
+                acked += captures[index + 1].subtype is FrameSubtype.ACK
+        assert data_count > 100
+        assert acked / data_count > 0.5
+
+    def test_contention_produces_collisions(self, loaded_channel):
+        assert loaded_channel.collision_rounds > 0
+        # But collisions stay a small fraction of exchanges.
+        assert loaded_channel.collision_rounds < loaded_channel.exchange_count * 0.25
+
+    def test_retry_bit_appears_under_load(self, loaded_channel):
+        retries = [c for c in loaded_channel.captures if c.frame.retry]
+        assert retries

@@ -1,0 +1,91 @@
+"""Unit tests for curves, AUC and identification metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    CurvePoint,
+    IdentificationCurve,
+    IdentificationPoint,
+    SimilarityCurve,
+    area_under_curve,
+)
+
+
+class TestAuc:
+    def test_perfect_classifier(self):
+        assert area_under_curve([0.0], [1.0]) == pytest.approx(1.0)
+
+    def test_diagonal_is_half(self):
+        fpr = [0.25, 0.5, 0.75]
+        assert area_under_curve(fpr, fpr) == pytest.approx(0.5)
+
+    def test_inverted_classifier_below_half(self):
+        assert area_under_curve([0.5], [0.1]) < 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            area_under_curve([0.1], [0.2, 0.3])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1, allow_nan=False),
+                st.floats(min_value=0, max_value=1, allow_nan=False),
+            ),
+            max_size=30,
+        )
+    )
+    def test_auc_bounded(self, points):
+        fpr = [p[0] for p in points]
+        tpr = [p[1] for p in points]
+        assert 0.0 <= area_under_curve(fpr, tpr) <= 1.0 + 1e-9
+
+
+class TestSimilarityCurve:
+    def test_points_sorted_by_fpr(self):
+        curve = SimilarityCurve(
+            points=[
+                CurvePoint(threshold=0.1, tpr=0.9, fpr=0.8),
+                CurvePoint(threshold=0.9, tpr=0.2, fpr=0.05),
+            ]
+        )
+        assert curve.points[0].fpr < curve.points[1].fpr
+
+    def test_tpr_at_fpr_budget(self):
+        curve = SimilarityCurve(
+            points=[
+                CurvePoint(threshold=0.9, tpr=0.3, fpr=0.01),
+                CurvePoint(threshold=0.5, tpr=0.7, fpr=0.09),
+                CurvePoint(threshold=0.1, tpr=0.95, fpr=0.4),
+            ]
+        )
+        assert curve.tpr_at_fpr(0.1) == pytest.approx(0.7)
+        assert curve.tpr_at_fpr(0.005) == 0.0
+        assert curve.tpr_at_fpr(1.0) == pytest.approx(0.95)
+
+    def test_as_arrays(self):
+        curve = SimilarityCurve(points=[CurvePoint(0.5, 0.6, 0.2)])
+        fpr, tpr = curve.as_arrays()
+        assert fpr.tolist() == [0.2]
+        assert tpr.tolist() == [0.6]
+
+
+class TestIdentificationCurve:
+    def test_ratio_at_fpr(self):
+        curve = IdentificationCurve(
+            points=[
+                IdentificationPoint(threshold=0.95, identification_ratio=0.2, fpr=0.0),
+                IdentificationPoint(threshold=0.7, identification_ratio=0.5, fpr=0.05),
+                IdentificationPoint(threshold=0.2, identification_ratio=0.8, fpr=0.3),
+            ]
+        )
+        assert curve.ratio_at_fpr(0.01) == pytest.approx(0.2)
+        assert curve.ratio_at_fpr(0.1) == pytest.approx(0.5)
+        assert curve.ratio_at_fpr(0.5) == pytest.approx(0.8)
+
+    def test_empty_curve(self):
+        assert IdentificationCurve(points=[]).ratio_at_fpr(0.1) == 0.0

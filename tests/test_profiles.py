@@ -1,0 +1,90 @@
+"""Unit tests for the device profile library and backoff quirks."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.simulator.profiles import (
+    BackoffStyle,
+    PROFILE_LIBRARY,
+    draw_backoff,
+    profile_by_name,
+)
+
+
+class TestLibrary:
+    def test_names_unique(self):
+        names = [p.name for p in PROFILE_LIBRARY]
+        assert len(names) == len(set(names))
+
+    def test_lookup(self):
+        profile = profile_by_name("intel-2200bg-linux")
+        assert profile.oui == "00:13:e8"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            profile_by_name("nonexistent-card")
+
+    def test_profiles_are_behaviourally_diverse(self):
+        styles = {p.backoff_style for p in PROFILE_LIBRARY}
+        assert len(styles) >= 4
+        rts = {p.rts_threshold for p in PROFILE_LIBRARY}
+        assert None in rts and any(t is not None for t in rts)
+        assert any(p.power_save.enabled for p in PROFILE_LIBRARY)
+        assert any(not p.power_save.enabled for p in PROFILE_LIBRARY)
+
+    def test_phy_construction(self):
+        for profile in PROFILE_LIBRARY:
+            phy = profile.phy()
+            if profile.b_only:
+                assert max(phy.supported_rates) == 11.0
+            else:
+                assert max(phy.supported_rates) == 54.0
+
+
+class TestBackoffDraws:
+    def _draws(self, style: BackoffStyle, cw: int = 15, n: int = 4000) -> Counter:
+        rng = random.Random(9)
+        return Counter(draw_backoff(style, cw, rng) for _ in range(n))
+
+    def test_uniform_range(self):
+        draws = self._draws(BackoffStyle.UNIFORM)
+        assert min(draws) == 0
+        assert max(draws) == 15
+        # Roughly uniform: every slot hit a plausible number of times.
+        for count in draws.values():
+            assert count > 100
+
+    def test_extra_early_slot(self):
+        draws = self._draws(BackoffStyle.EXTRA_EARLY_SLOT)
+        assert min(draws) == -1
+        assert max(draws) == 15
+
+    def test_first_slot_bias(self):
+        draws = self._draws(BackoffStyle.FIRST_SLOT_BIAS)
+        # Slot 0 receives the 30% bias plus its uniform share.
+        assert draws[0] > 2.5 * draws[8]
+        assert min(draws) == 0
+
+    def test_truncated(self):
+        draws = self._draws(BackoffStyle.TRUNCATED)
+        assert max(draws) <= 7
+
+    def test_low_biased(self):
+        draws = self._draws(BackoffStyle.LOW_BIASED)
+        assert draws[0] + draws[1] > draws[14] + draws[15]
+        assert 0 <= min(draws) and max(draws) <= 15
+
+    def test_invalid_cw(self):
+        with pytest.raises(ValueError):
+            draw_backoff(BackoffStyle.UNIFORM, 0, random.Random(1))
+
+    @pytest.mark.parametrize("style", list(BackoffStyle))
+    def test_all_styles_within_window(self, style):
+        rng = random.Random(11)
+        for _ in range(500):
+            value = draw_backoff(style, 31, rng)
+            assert -1 <= value <= 31

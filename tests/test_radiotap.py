@@ -1,0 +1,152 @@
+"""Unit and property tests for the Radiotap codec."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dot11.phy import ALL_RATES
+from repro.radiotap.fields import (
+    align_offset,
+    channel_from_frequency,
+    channel_frequency_mhz,
+    decode_rate,
+    encode_rate,
+)
+from repro.radiotap.parser import RadiotapError, parse_radiotap
+from repro.radiotap.writer import build_radiotap
+
+
+class TestAlignment:
+    @pytest.mark.parametrize(
+        "offset,align,expected",
+        [(0, 8, 0), (1, 8, 8), (8, 8, 8), (9, 2, 10), (13, 4, 16), (5, 1, 5)],
+    )
+    def test_align_offset(self, offset, align, expected):
+        assert align_offset(offset, align) == expected
+
+    def test_align_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            align_offset(4, 0)
+
+
+class TestChannelMapping:
+    def test_channel_6(self):
+        assert channel_frequency_mhz(6) == 2437
+
+    def test_channel_14_special_case(self):
+        assert channel_frequency_mhz(14) == 2484
+        assert channel_from_frequency(2484) == 14
+
+    @given(st.integers(min_value=1, max_value=14))
+    def test_round_trip(self, channel):
+        assert channel_from_frequency(channel_frequency_mhz(channel)) == channel
+
+    def test_invalid_channel(self):
+        with pytest.raises(ValueError):
+            channel_frequency_mhz(15)
+        with pytest.raises(ValueError):
+            channel_from_frequency(5180)
+
+
+class TestRateEncoding:
+    @given(st.sampled_from(ALL_RATES))
+    def test_round_trip(self, rate):
+        assert decode_rate(encode_rate(rate)) == rate
+
+    def test_half_mbps_units(self):
+        assert encode_rate(5.5) == 11
+
+    def test_non_encodable_rejected(self):
+        with pytest.raises(ValueError):
+            encode_rate(5.3)
+        with pytest.raises(ValueError):
+            encode_rate(200.0)
+
+    def test_decode_zero_rejected(self):
+        with pytest.raises(ValueError):
+            decode_rate(0)
+
+
+class TestHeaderRoundTrip:
+    def test_full_header(self):
+        raw = build_radiotap(
+            tsft_us=123_456_789,
+            rate_mbps=48.0,
+            channel=11,
+            antenna_signal_dbm=-61,
+            short_preamble=True,
+        )
+        header = parse_radiotap(raw + b"\x00" * 10)
+        assert header.tsft_us == 123_456_789
+        assert header.rate_mbps == 48.0
+        assert header.channel == 11
+        assert header.antenna_signal_dbm == -61
+        assert header.has_fcs
+
+    def test_minimal_header(self):
+        raw = build_radiotap()
+        header = parse_radiotap(raw)
+        assert header.tsft_us is None
+        assert header.rate_mbps is None
+        assert header.length == len(raw)
+
+    def test_tsft_alignment_padding(self):
+        # TSFT needs 8-byte alignment: header starts at offset 8 so no
+        # padding, but Flags after it must not corrupt parsing.
+        raw = build_radiotap(tsft_us=1, rate_mbps=54.0)
+        header = parse_radiotap(raw)
+        assert header.tsft_us == 1
+        assert header.rate_mbps == 54.0
+
+    @given(
+        tsft=st.one_of(st.none(), st.integers(min_value=0, max_value=2**63)),
+        rate=st.one_of(st.none(), st.sampled_from(ALL_RATES)),
+        channel=st.one_of(st.none(), st.integers(min_value=1, max_value=14)),
+        signal=st.one_of(st.none(), st.integers(min_value=-110, max_value=0)),
+    )
+    def test_round_trip_property(self, tsft, rate, channel, signal):
+        raw = build_radiotap(
+            tsft_us=tsft, rate_mbps=rate, channel=channel, antenna_signal_dbm=signal
+        )
+        header = parse_radiotap(raw)
+        assert header.tsft_us == tsft
+        assert header.rate_mbps == rate
+        assert header.channel == channel
+        assert header.antenna_signal_dbm == signal
+        assert header.length == len(raw)
+
+
+class TestMalformedInput:
+    def test_too_short(self):
+        with pytest.raises(RadiotapError):
+            parse_radiotap(b"\x00\x00\x08")
+
+    def test_bad_version(self):
+        raw = bytearray(build_radiotap())
+        raw[0] = 1
+        with pytest.raises(RadiotapError):
+            parse_radiotap(bytes(raw))
+
+    def test_length_overrun(self):
+        raw = bytearray(build_radiotap(rate_mbps=54.0))
+        struct.pack_into("<H", raw, 2, len(raw) + 50)
+        with pytest.raises(RadiotapError):
+            parse_radiotap(bytes(raw))
+
+    def test_unknown_field_bit(self):
+        # Present bit 18 (MCS) is not in the supported table.
+        raw = bytearray(build_radiotap(rate_mbps=54.0))
+        (present,) = struct.unpack_from("<I", raw, 4)
+        struct.pack_into("<I", raw, 4, present | (1 << 18))
+        with pytest.raises(RadiotapError):
+            parse_radiotap(bytes(raw))
+
+    def test_truncated_present_chain(self):
+        # EXT bit set but no following present word.
+        raw = struct.pack("<BBHI", 0, 0, 8, 1 << 31)
+        with pytest.raises(RadiotapError):
+            parse_radiotap(raw)

@@ -1,0 +1,129 @@
+"""Unit tests for the rate-adaptation algorithms."""
+
+from __future__ import annotations
+
+import random
+
+from repro.dot11.phy import PHY_BG
+from repro.simulator.channel import ChannelModel
+from repro.simulator.ratecontrol import (
+    AarfRateControl,
+    ArfRateControl,
+    FixedRateControl,
+    JitteryRateControl,
+    SnrRateControl,
+)
+
+
+class TestFixed:
+    def test_never_moves(self):
+        control = FixedRateControl(54.0)
+        for _ in range(20):
+            control.on_result(False)
+        assert control.current_rate() == 54.0
+
+
+class TestArf:
+    def test_steps_up_after_successes(self):
+        control = ArfRateControl(PHY_BG, initial_rate=24.0, success_threshold=10)
+        for _ in range(10):
+            control.on_result(True)
+        assert control.current_rate() == 36.0
+
+    def test_steps_down_after_failures(self):
+        control = ArfRateControl(PHY_BG, initial_rate=24.0, failure_threshold=2)
+        control.on_result(False)
+        assert control.current_rate() == 24.0  # one failure not enough
+        control.on_result(False)
+        assert control.current_rate() == 18.0
+
+    def test_success_resets_failure_count(self):
+        control = ArfRateControl(PHY_BG, initial_rate=24.0, failure_threshold=2)
+        control.on_result(False)
+        control.on_result(True)
+        control.on_result(False)
+        assert control.current_rate() == 24.0
+
+    def test_bounded_at_top(self):
+        control = ArfRateControl(PHY_BG, initial_rate=54.0, success_threshold=1)
+        for _ in range(5):
+            control.on_result(True)
+        assert control.current_rate() == 54.0
+
+    def test_bounded_at_bottom(self):
+        control = ArfRateControl(PHY_BG, initial_rate=1.0, failure_threshold=1)
+        for _ in range(5):
+            control.on_result(False)
+        assert control.current_rate() == 1.0
+
+
+class TestAarf:
+    def test_threshold_doubles_after_failed_probe(self):
+        control = AarfRateControl(
+            PHY_BG, initial_rate=24.0, success_threshold=10, failure_threshold=2
+        )
+        for _ in range(10):
+            control.on_result(True)
+        assert control.current_rate() == 36.0
+        control.on_result(False)
+        control.on_result(False)
+        assert control.current_rate() == 24.0
+        assert control.success_threshold == 20
+
+    def test_threshold_capped(self):
+        control = AarfRateControl(
+            PHY_BG, initial_rate=24.0, success_threshold=10, max_threshold=40
+        )
+        for _round in range(5):
+            for _ in range(control.success_threshold):
+                control.on_result(True)
+            control.on_result(False)
+            control.on_result(False)
+        assert control.success_threshold <= 40
+
+
+class TestSnr:
+    def test_follows_snr_with_hysteresis(self):
+        channel = ChannelModel()
+        control = SnrRateControl(PHY_BG, channel, initial_rate=54.0, hold=3)
+        for _ in range(2):
+            control.on_snr_hint(10.0)
+        assert control.current_rate() == 54.0  # not yet: hold = 3
+        control.on_snr_hint(10.0)
+        assert control.current_rate() < 54.0
+
+    def test_failure_steps_down(self):
+        channel = ChannelModel()
+        control = SnrRateControl(PHY_BG, channel, initial_rate=54.0)
+        control.on_result(False)
+        assert control.current_rate() == 48.0
+
+    def test_oscillating_hints_hold(self):
+        channel = ChannelModel()
+        control = SnrRateControl(PHY_BG, channel, initial_rate=54.0, hold=3)
+        for snr in (40.0, 10.0, 40.0, 10.0, 40.0, 10.0):
+            control.on_snr_hint(snr)
+        assert control.current_rate() == 54.0
+
+
+class TestJittery:
+    def test_probes_random_rates(self):
+        rng = random.Random(4)
+        inner = FixedRateControl(54.0)
+        control = JitteryRateControl(inner, PHY_BG, rng, probe_probability=0.5)
+        rates = {control.current_rate() for _ in range(200)}
+        assert len(rates) > 3  # samples across the ladder
+
+    def test_zero_probability_is_transparent(self):
+        rng = random.Random(4)
+        control = JitteryRateControl(
+            FixedRateControl(54.0), PHY_BG, rng, probe_probability=0.0
+        )
+        assert all(control.current_rate() == 54.0 for _ in range(50))
+
+    def test_probability_validation(self):
+        import pytest
+
+        rng = random.Random(4)
+        with pytest.raises(ValueError):
+            JitteryRateControl(FixedRateControl(54.0), PHY_BG, rng, probe_probability=1.5)

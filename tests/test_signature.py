@@ -1,0 +1,122 @@
+"""Unit tests for signature construction (Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dot11.mac import MacAddress
+from repro.core.parameters import FrameSize, InterArrivalTime
+from repro.core.signature import Signature, SignatureBuilder
+from repro.dot11.frames import FrameSubtype
+from tests.conftest import make_data_capture
+
+A = MacAddress.parse("00:13:e8:00:00:0a")
+B = MacAddress.parse("00:18:f8:00:00:0b")
+AP = MacAddress.parse("00:0f:b5:00:00:01")
+
+
+def _frames(sender, count, start=0.0, gap=1000.0, subtype=FrameSubtype.QOS_DATA, size=500):
+    return [
+        make_data_capture(start + i * gap, sender, AP, size=size, subtype=subtype)
+        for i in range(count)
+    ]
+
+
+class TestMinimumObservations:
+    def test_below_threshold_omitted(self):
+        builder = SignatureBuilder(FrameSize(), min_observations=50)
+        signatures = builder.build(_frames(A, 49))
+        assert A not in signatures
+
+    def test_at_threshold_included(self):
+        builder = SignatureBuilder(FrameSize(), min_observations=50)
+        signatures = builder.build(_frames(A, 50))
+        assert A in signatures
+
+    def test_threshold_counts_kept_observations(self):
+        # Inter-arrival yields n-1 observations for n frames.
+        builder = SignatureBuilder(InterArrivalTime(), min_observations=50)
+        assert A not in builder.build(_frames(A, 50))
+        assert A in builder.build(_frames(A, 51))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SignatureBuilder(FrameSize(), min_observations=0)
+
+
+class TestWeights:
+    def test_weights_reflect_frame_type_mix(self):
+        frames = _frames(A, 30, subtype=FrameSubtype.QOS_DATA) + _frames(
+            A, 70, start=1e6, subtype=FrameSubtype.PROBE_REQUEST, size=120
+        )
+        builder = SignatureBuilder(FrameSize(), min_observations=50)
+        signature = builder.build(frames)[A]
+        assert signature.weight("QoS Data") == pytest.approx(0.3)
+        assert signature.weight("Probe Request") == pytest.approx(0.7)
+
+    def test_weights_sum_to_one(self):
+        frames = _frames(A, 40) + _frames(A, 25, start=1e6, subtype=FrameSubtype.DATA)
+        signature = SignatureBuilder(FrameSize(), min_observations=50).build(frames)[A]
+        assert sum(signature.weights.values()) == pytest.approx(1.0)
+
+    def test_absent_type_weight_zero(self):
+        signature = SignatureBuilder(FrameSize(), min_observations=10).build(
+            _frames(A, 20)
+        )[A]
+        assert signature.weight("Beacon") == 0.0
+
+
+class TestHistogramContent:
+    def test_histograms_normalised(self):
+        signature = SignatureBuilder(FrameSize(), min_observations=10).build(
+            _frames(A, 20, size=500) + _frames(A, 20, start=1e6, size=1500)
+        )[A]
+        histogram = signature.histogram("QoS Data")
+        assert histogram is not None
+        assert histogram.sum() == pytest.approx(1.0)
+
+    def test_distinct_sizes_in_distinct_bins(self):
+        signature = SignatureBuilder(FrameSize(), min_observations=10).build(
+            _frames(A, 10, size=100) + _frames(A, 10, start=1e6, size=2000)
+        )[A]
+        histogram = signature.histogram("QoS Data")
+        assert (histogram > 0).sum() == 2
+
+    def test_per_device_separation(self):
+        frames = sorted(
+            _frames(A, 30, size=100) + _frames(B, 30, start=500.0, size=2000),
+            key=lambda c: c.timestamp_us,
+        )
+        signatures = SignatureBuilder(FrameSize(), min_observations=10).build(frames)
+        assert set(signatures) == {A, B}
+        hist_a = signatures[A].histogram("QoS Data")
+        hist_b = signatures[B].histogram("QoS Data")
+        assert (hist_a * hist_b).sum() == pytest.approx(0.0)  # disjoint bins
+
+    def test_build_single(self):
+        builder = SignatureBuilder(FrameSize(), min_observations=10)
+        assert builder.build_single(_frames(A, 20), A) is not None
+        assert builder.build_single(_frames(A, 20), B) is None
+
+
+class TestSignatureValidation:
+    def test_mismatched_keys_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            Signature(histograms={"Data": np.zeros(4)}, weights={})
+
+    def test_negative_weight_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            Signature(
+                histograms={"Data": np.zeros(4)}, weights={"Data": -0.1}
+            )
+
+    def test_total_observations(self):
+        signature = SignatureBuilder(FrameSize(), min_observations=10).build(
+            _frames(A, 25)
+        )[A]
+        assert signature.total_observations == 25
+        assert signature.frame_types == {"QoS Data"}

@@ -1,0 +1,106 @@
+"""Unit and property tests for similarity measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.similarity import (
+    bhattacharyya_similarity,
+    chi_square_similarity,
+    cosine_distance,
+    cosine_similarity,
+    intersection_similarity,
+    jensen_shannon_similarity,
+    similarity_measure_by_name,
+)
+
+ALL_MEASURES = [
+    cosine_similarity,
+    intersection_similarity,
+    chi_square_similarity,
+    bhattacharyya_similarity,
+    jensen_shannon_similarity,
+]
+
+
+def _normalised(vector: list[float]) -> np.ndarray:
+    array = np.array(vector, dtype=float)
+    return array / array.sum()
+
+
+histograms = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=8,
+    max_size=8,
+).filter(lambda v: sum(v) > 0.01)
+
+
+class TestCosine:
+    def test_identical_is_one(self):
+        h = _normalised([1, 2, 3, 4])
+        assert cosine_similarity(h, h) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        a = _normalised([1, 1, 0, 0])
+        b = _normalised([0, 0, 1, 1])
+        assert cosine_similarity(a, b) == 0.0
+
+    def test_erratum_distance_complement(self):
+        a = _normalised([1, 2, 0, 0])
+        b = _normalised([2, 1, 0, 0])
+        assert cosine_distance(a, b) == pytest.approx(1.0 - cosine_similarity(a, b))
+
+    def test_zero_histogram_scores_zero(self):
+        a = np.zeros(4)
+        b = _normalised([1, 1, 1, 1])
+        assert cosine_similarity(a, b) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity(np.zeros(4), np.zeros(5))
+
+    def test_scale_invariance(self):
+        a = np.array([1.0, 2.0, 3.0, 0.0])
+        assert cosine_similarity(a, a * 7.0) == pytest.approx(1.0)
+
+
+class TestAllMeasures:
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    @given(values=histograms)
+    def test_self_similarity_is_one(self, measure, values):
+        h = _normalised(values)
+        assert measure(h, h) == pytest.approx(1.0, abs=1e-6)
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    @given(a=histograms, b=histograms)
+    def test_range_and_symmetry(self, measure, a, b):
+        ha, hb = _normalised(a), _normalised(b)
+        value = measure(ha, hb)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+        assert measure(hb, ha) == pytest.approx(value, abs=1e-9)
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    def test_disjoint_support_is_zero(self, measure):
+        a = _normalised([1, 1, 0, 0])
+        b = _normalised([0, 0, 1, 1])
+        assert measure(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    def test_closer_is_more_similar(self, measure):
+        reference = _normalised([5, 3, 1, 1])
+        near = _normalised([5, 3, 1.5, 0.5])
+        far = _normalised([1, 1, 3, 5])
+        assert measure(near, reference) > measure(far, reference)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert similarity_measure_by_name("cosine") is cosine_similarity
+        assert similarity_measure_by_name("jensen-shannon") is jensen_shannon_similarity
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            similarity_measure_by_name("euclid")

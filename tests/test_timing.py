@@ -1,0 +1,64 @@
+"""Unit tests for MAC timing constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dot11.phy import PhyKind
+from repro.dot11.timing import (
+    TIMING_B,
+    TIMING_BG_MIXED,
+    TIMING_G,
+    MacTiming,
+    timing_for,
+)
+
+
+class TestDerivedIntervals:
+    def test_difs_formula(self):
+        assert TIMING_G.difs_us == pytest.approx(10 + 2 * 9)
+        assert TIMING_B.difs_us == pytest.approx(10 + 2 * 20)
+
+    def test_eifs_exceeds_difs(self):
+        for timing in (TIMING_B, TIMING_G, TIMING_BG_MIXED):
+            assert timing.eifs_us > timing.difs_us
+
+
+class TestBackoffWindow:
+    def test_initial_window(self):
+        assert TIMING_G.backoff_window(0) == 15
+
+    def test_doubles_per_retry(self):
+        assert TIMING_G.backoff_window(1) == 31
+        assert TIMING_G.backoff_window(2) == 63
+
+    def test_clamps_at_cw_max(self):
+        assert TIMING_G.backoff_window(10) == 1023
+        assert TIMING_G.backoff_window(20) == 1023
+
+    def test_negative_retry_rejected(self):
+        with pytest.raises(ValueError):
+            TIMING_G.backoff_window(-1)
+
+
+class TestValidation:
+    def test_positive_durations(self):
+        with pytest.raises(ValueError):
+            MacTiming(slot_us=0, sifs_us=10, cw_min=15, cw_max=1023)
+        with pytest.raises(ValueError):
+            MacTiming(slot_us=9, sifs_us=-1, cw_min=15, cw_max=1023)
+
+    def test_cw_ordering(self):
+        with pytest.raises(ValueError):
+            MacTiming(slot_us=9, sifs_us=10, cw_min=100, cw_max=50)
+        with pytest.raises(ValueError):
+            MacTiming(slot_us=9, sifs_us=10, cw_min=0, cw_max=50)
+
+
+class TestSelection:
+    def test_dsss_gets_long_slots(self):
+        assert timing_for(PhyKind.DSSS) is TIMING_B
+
+    def test_ofdm_pure_vs_mixed(self):
+        assert timing_for(PhyKind.OFDM) is TIMING_G
+        assert timing_for(PhyKind.OFDM, mixed_mode=True) is TIMING_BG_MIXED

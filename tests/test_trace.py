@@ -1,0 +1,129 @@
+"""Unit tests for the Trace container, splitting and windowing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dot11.mac import MacAddress
+from repro.traces.filters import (
+    broadcast_data_only,
+    combine,
+    data_frames_only,
+    filter_frames,
+    first_transmissions_only,
+    null_function_only,
+    sent_at_rate,
+)
+from repro.traces.trace import Trace
+from repro.dot11.frames import FrameSubtype
+from tests.conftest import make_data_capture
+
+A = MacAddress.parse("00:13:e8:00:00:0a")
+B = MacAddress.parse("00:18:f8:00:00:0b")
+AP = MacAddress.parse("00:0f:b5:00:00:01")
+
+
+def _trace(count: int = 100, gap_us: float = 1e5) -> Trace:
+    frames = [make_data_capture(i * gap_us, A if i % 2 else B, AP) for i in range(count)]
+    return Trace(frames=frames, name="unit")
+
+
+class TestContainer:
+    def test_ordering_enforced(self):
+        frames = [make_data_capture(100.0, A, AP), make_data_capture(50.0, A, AP)]
+        with pytest.raises(ValueError):
+            Trace(frames=frames)
+
+    def test_duration(self):
+        trace = _trace(11, gap_us=1e6)
+        assert trace.duration_s == pytest.approx(10.0)
+
+    def test_empty_trace(self):
+        trace = Trace(frames=[])
+        assert len(trace) == 0
+        assert trace.duration_s == 0.0
+        assert trace.senders() == set()
+
+    def test_senders(self):
+        assert _trace().senders() == {A, B}
+
+    def test_frames_of(self):
+        trace = _trace(10)
+        assert len(trace.frames_of(A)) == 5
+
+
+class TestSlicing:
+    def test_slice_bounds(self):
+        trace = _trace(100, gap_us=1e4)
+        window = trace.slice_us(2e5, 5e5)
+        assert all(2e5 <= c.timestamp_us < 5e5 for c in window.frames)
+
+    def test_split_ratios(self):
+        trace = _trace(100, gap_us=1e6)  # 99 s
+        split = trace.split(training_s=20.0)
+        assert len(split.training) == 20
+        assert len(split.validation) == 80
+
+    def test_split_validation_starts_after_training(self):
+        split = _trace(100, gap_us=1e6).split(training_s=30.0)
+        assert split.training.end_us < split.validation.start_us
+
+    def test_split_requires_positive(self):
+        with pytest.raises(ValueError):
+            _trace().split(0.0)
+
+    def test_windows_cover_trace(self):
+        trace = _trace(100, gap_us=1e6)
+        windows = list(trace.windows(window_s=25.0))
+        assert sum(len(w) for w in windows) == len(trace)
+        assert len(windows) == 4
+
+    def test_window_size_validation(self):
+        with pytest.raises(ValueError):
+            list(_trace().windows(0.0))
+
+
+class TestPcapRoundTrip:
+    def test_to_from_pcap(self, tmp_path):
+        trace = _trace(20)
+        path = tmp_path / "t.pcap"
+        assert trace.to_pcap(path) == 20
+        back = Trace.from_pcap(path, name="loaded")
+        assert len(back) == 20
+        assert back.senders() == {A, B}
+
+
+class TestFilters:
+    def test_data_only(self):
+        data = make_data_capture(0.0, A, AP)
+        beacon = make_data_capture(1.0, A, AP, subtype=FrameSubtype.BEACON, size=180)
+        assert filter_frames([data, beacon], data_frames_only) == [data]
+
+    def test_first_tx_only(self):
+        first = make_data_capture(0.0, A, AP)
+        retry = make_data_capture(1.0, A, AP, retry=True)
+        assert filter_frames([first, retry], first_transmissions_only) == [first]
+
+    def test_rate_filter(self):
+        fast = make_data_capture(0.0, A, AP, rate=54.0)
+        slow = make_data_capture(1.0, A, AP, rate=11.0)
+        assert filter_frames([fast, slow], sent_at_rate(54.0)) == [fast]
+
+    def test_broadcast_data(self):
+        from repro.dot11.mac import BROADCAST
+
+        unicast = make_data_capture(0.0, A, AP)
+        broadcast = make_data_capture(1.0, A, BROADCAST, size=80)
+        assert filter_frames([unicast, broadcast], broadcast_data_only) == [broadcast]
+
+    def test_null_function(self):
+        null = make_data_capture(0.0, A, AP, subtype=FrameSubtype.NULL_FUNCTION, size=28)
+        data = make_data_capture(1.0, A, AP)
+        assert filter_frames([null, data], null_function_only) == [null]
+
+    def test_combined_predicates(self):
+        wanted = make_data_capture(0.0, A, AP, rate=54.0)
+        wrong_rate = make_data_capture(1.0, A, AP, rate=11.0)
+        retried = make_data_capture(2.0, A, AP, rate=54.0, retry=True)
+        joint = combine(data_frames_only, first_transmissions_only, sent_at_rate(54.0))
+        assert [c for c in [wanted, wrong_rate, retried] if joint(c)] == [wanted]

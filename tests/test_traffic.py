@@ -1,0 +1,144 @@
+"""Unit tests for traffic generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dot11.frames import FrameSubtype
+from repro.simulator.traffic import (
+    AppFrame,
+    ArpProbeService,
+    CbrTraffic,
+    DST_AP,
+    DST_BROADCAST,
+    DST_MULTICAST,
+    DST_PEER,
+    IgmpService,
+    KeepAliveService,
+    LlmnrService,
+    MdnsService,
+    PowerSaveService,
+    ProbeScanService,
+    SsdpService,
+    WebTraffic,
+)
+
+
+class TestAppFrame:
+    def test_destination_validation(self):
+        with pytest.raises(ValueError):
+            AppFrame(subtype=FrameSubtype.DATA, size=100, destination="nowhere")
+
+    def test_peer_requires_address(self):
+        with pytest.raises(ValueError):
+            AppFrame(subtype=FrameSubtype.DATA, size=100, destination=DST_PEER)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            AppFrame(subtype=FrameSubtype.DATA, size=4)
+
+
+def _drain(source, duration_us: float, seed: int = 5):
+    """Poll a source until ``duration_us`` of virtual time elapses."""
+    rng = random.Random(seed)
+    t = source.start_delay_us(rng)
+    frames = []
+    polls = 0
+    while t <= duration_us and polls < 100_000:
+        burst, t_next = source.next_burst(t, rng)
+        frames.extend(burst)
+        assert t_next > t, "generators must advance time"
+        t = t_next
+        polls += 1
+    return frames
+
+
+class TestCbr:
+    def test_steady_rate(self):
+        frames = _drain(CbrTraffic(interval_ms=10.0), 1e6)
+        assert 80 <= len(frames) <= 120
+        assert all(f.destination == DST_AP for f in frames)
+
+    def test_payload_plus_overhead(self):
+        frames = _drain(CbrTraffic(payload=1470, interval_ms=10.0), 1e5)
+        assert all(f.size == 1504 for f in frames)
+
+    def test_qos_flag(self):
+        assert _drain(CbrTraffic(qos=True), 1e5)[0].subtype is FrameSubtype.QOS_DATA
+        assert _drain(CbrTraffic(qos=False), 1e5)[0].subtype is FrameSubtype.DATA
+
+
+class TestWeb:
+    def test_bursty_sizes(self):
+        frames = _drain(WebTraffic(mean_think_s=0.5), 30e6)
+        sizes = {f.size for f in frames}
+        assert 1500 in sizes
+        assert any(size < 200 for size in sizes)
+
+    def test_all_to_ap(self):
+        frames = _drain(WebTraffic(mean_think_s=0.5), 10e6)
+        assert all(f.destination == DST_AP for f in frames)
+
+
+class TestServices:
+    def test_ssdp_multicast_bursts(self):
+        frames = _drain(SsdpService(period_s=10.0, burst_size=3), 120e6)
+        assert all(f.destination == DST_MULTICAST for f in frames)
+        assert len(frames) % 3 == 0
+        assert 9 <= len(frames) <= 45
+
+    def test_llmnr_repeats(self):
+        frames = _drain(LlmnrService(mean_period_s=5.0, repeat=2), 60e6)
+        assert len(frames) % 2 == 0
+        assert all(f.size == 94 for f in frames)
+
+    def test_igmp_periodicity(self):
+        frames = _drain(IgmpService(period_s=10.0), 100e6)
+        assert 8 <= len(frames) <= 12
+
+    def test_arp_broadcast(self):
+        frames = _drain(ArpProbeService(mean_period_s=5.0), 60e6)
+        assert all(f.destination == DST_BROADCAST for f in frames)
+
+    def test_mdns_size_spread(self):
+        frames = _drain(MdnsService(period_s=5.0), 120e6)
+        assert len({f.size for f in frames}) > 3
+
+    def test_keepalive_to_ap(self):
+        frames = _drain(KeepAliveService(period_s=5.0, size=70), 60e6)
+        assert all(f.size == 70 and f.destination == DST_AP for f in frames)
+
+
+class TestPowerSave:
+    def test_alternating_pm_bits(self):
+        frames = _drain(PowerSaveService(period_ms=50.0, wake_gap_ms=5.0), 5e6)
+        assert len(frames) >= 4
+        bits = [f.power_mgmt for f in frames]
+        assert bits[:4] == [True, False, True, False]
+
+    def test_null_subtype(self):
+        plain = _drain(PowerSaveService(qos_null=False), 2e6)
+        qos = _drain(PowerSaveService(qos_null=True), 2e6)
+        assert plain[0].subtype is FrameSubtype.NULL_FUNCTION
+        assert qos[0].subtype is FrameSubtype.QOS_NULL
+
+
+class TestProbeScan:
+    def test_burst_structure(self):
+        source = ProbeScanService(
+            period_s=30.0, period_jitter_s=0.1, burst_size=3, intra_burst_gap_ms=10.0
+        )
+        rng = random.Random(8)
+        t = source.start_delay_us(rng)
+        gaps = []
+        for _ in range(30):
+            frames, t_next = source.next_burst(t, rng)
+            assert frames[0].subtype is FrameSubtype.PROBE_REQUEST
+            assert frames[0].destination == DST_BROADCAST
+            gaps.append(t_next - t)
+            t = t_next
+        short = [g for g in gaps if g < 1e5]
+        long = [g for g in gaps if g > 1e6]
+        assert short and long  # intra-burst gaps and scan periods
