@@ -1,10 +1,27 @@
-"""Legacy setup shim.
+"""Setup script for the repro package.
 
-Allows ``pip install -e .`` in offline environments whose setuptools
+Kept as a classic ``setup.py`` (rather than ``pyproject.toml``) so
+``pip install -e .`` works in offline environments whose setuptools
 lacks PEP 660 editable-wheel support (no ``wheel`` package available).
-All project metadata lives in ``pyproject.toml``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-80211-fingerprinting",
+    version="0.2.0",
+    description=(
+        "Reproduction of Neumann, Heen & Onno, 'An Empirical Study of "
+        "Passive 802.11 Device Fingerprinting' (ICDCS Workshops 2012)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": ["repro-80211=repro.cli:main"],
+    },
+)

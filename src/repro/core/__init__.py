@@ -11,7 +11,7 @@ histograms (:mod:`repro.core.histogram`) → weighted signatures
 evaluation harness (:mod:`repro.core.pipeline`).
 """
 
-from repro.core.database import ReferenceDatabase
+from repro.core.database import PackedDatabase, ReferenceDatabase
 from repro.core.detection import (
     DetectionConfig,
     IdentificationOutcome,
@@ -23,7 +23,7 @@ from repro.core.detection import (
 from repro.core.fusion import FusedSignature, FusionMatcher
 from repro.core.histogram import BinSpec, CategoricalBins, Histogram, UniformBins
 from repro.core.joint import JointBins, JointParameter
-from repro.core.matcher import match_signature
+from repro.core.matcher import batch_match_signatures, best_match, match_signature
 from repro.core.metrics import CurvePoint, SimilarityCurve, area_under_curve
 from repro.core.parameters import (
     ALL_PARAMETERS,
@@ -43,9 +43,12 @@ from repro.core.similarity import (
     chi_square_similarity,
     cosine_distance,
     cosine_similarity,
+    cosine_similarity_matrix,
     intersection_similarity,
     jensen_shannon_similarity,
+    normalize_rows,
     similarity_measure_by_name,
+    unit_cosine_product,
 )
 
 __all__ = [
@@ -66,6 +69,7 @@ __all__ = [
     "MediumAccessTime",
     "NetworkParameter",
     "Observation",
+    "PackedDatabase",
     "ReferenceDatabase",
     "Signature",
     "SignatureBuilder",
@@ -75,10 +79,13 @@ __all__ = [
     "TransmissionTime",
     "UniformBins",
     "area_under_curve",
+    "batch_match_signatures",
+    "best_match",
     "bhattacharyya_similarity",
     "chi_square_similarity",
     "cosine_distance",
     "cosine_similarity",
+    "cosine_similarity_matrix",
     "evaluate_identification",
     "evaluate_similarity",
     "evaluate_trace",
@@ -86,6 +93,8 @@ __all__ = [
     "intersection_similarity",
     "jensen_shannon_similarity",
     "match_signature",
+    "normalize_rows",
     "parameter_by_name",
     "similarity_measure_by_name",
+    "unit_cosine_product",
 ]

@@ -4,15 +4,92 @@ Built from a training trace, the database stores one signature per
 reference device (Section IV-B).  It assumes a clean learning stage —
 the paper's pollution attack against this assumption is modelled in
 :mod:`repro.applications.attacks`.
+
+For the batch matching engine the database also exposes a *packed*
+view (:meth:`ReferenceDatabase.packed`): per frame type, one
+contiguous ``(N_devices, n_bins)`` frequency matrix, one ``(N_devices,)``
+weight vector, and the unit-normalised frequency rows — so Algorithm 1
+for cosine reduces to one matrix–vector product per frame type (see
+DESIGN.md "Batch matrix layout").  The packed view is cached and
+rebuilt lazily after :meth:`add`/:meth:`remove`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
+
+import numpy as np
 
 from repro.dot11.capture import CapturedFrame
 from repro.dot11.mac import MacAddress
 from repro.core.signature import Signature, SignatureBuilder
+from repro.core.similarity import normalize_rows
+
+
+@dataclass(frozen=True, eq=False)
+class PackedDatabase:
+    """Contiguous per-frame-type matrix view of a reference database.
+
+    Device order matches the database's insertion order, so row ``i``
+    of every matrix describes ``devices[i]``.  Devices lacking a frame
+    type get an all-zero frequency row and weight 0 — exactly the
+    "missing type contributes 0" rule of Algorithm 1.
+    """
+
+    devices: tuple[MacAddress, ...]
+    frame_types: tuple[str, ...]
+    #: ftype → ``(N, n_bins)`` percentage-frequency matrix.
+    frequencies: dict[str, np.ndarray]
+    #: ftype → ``(N,)`` reference frame-type weights.
+    weights: dict[str, np.ndarray]
+    #: ftype → ``(N, n_bins)`` unit rows ``r_i/‖r_i‖`` (cosine fast path).
+    normalized: dict[str, np.ndarray]
+
+    @classmethod
+    def from_signatures(
+        cls, entries: list[tuple[MacAddress, Signature]]
+    ) -> "PackedDatabase | None":
+        """Pack signatures into matrices; ``None`` if they are ragged.
+
+        Ragged means two signatures disagree on a frame type's bin
+        count, in which case no rectangular matrix exists and callers
+        must stay on the scalar path.
+        """
+        devices = tuple(device for device, _ in entries)
+        bin_counts: dict[str, int] = {}
+        for _, signature in entries:
+            for ftype_key, histogram in signature.histograms.items():
+                bins = int(histogram.shape[-1])
+                if bin_counts.setdefault(ftype_key, bins) != bins:
+                    return None
+        frame_types = tuple(bin_counts)
+        frequencies: dict[str, np.ndarray] = {}
+        weights: dict[str, np.ndarray] = {}
+        normalized: dict[str, np.ndarray] = {}
+        for ftype_key in frame_types:
+            matrix = np.zeros((len(entries), bin_counts[ftype_key]), dtype=np.float64)
+            weight = np.zeros(len(entries), dtype=np.float64)
+            for row, (_, signature) in enumerate(entries):
+                histogram = signature.histogram(ftype_key)
+                if histogram is not None:
+                    matrix[row] = histogram
+                    weight[row] = signature.weight(ftype_key)
+            frequencies[ftype_key] = matrix
+            weights[ftype_key] = weight
+            normalized[ftype_key] = normalize_rows(matrix)
+        return cls(
+            devices=devices,
+            frame_types=frame_types,
+            frequencies=frequencies,
+            weights=weights,
+            normalized=normalized,
+        )
+
+    def bin_count(self, ftype_key: str) -> int | None:
+        """Histogram width of one frame type (``None`` if absent)."""
+        matrix = self.frequencies.get(ftype_key)
+        return None if matrix is None else int(matrix.shape[-1])
 
 
 class ReferenceDatabase:
@@ -20,6 +97,8 @@ class ReferenceDatabase:
 
     def __init__(self) -> None:
         self._signatures: dict[MacAddress, Signature] = {}
+        self._packed: PackedDatabase | None = None
+        self._packed_stale = True
 
     @classmethod
     def from_training(
@@ -34,14 +113,32 @@ class ReferenceDatabase:
     def add(self, device: MacAddress, signature: Signature) -> None:
         """Register (or replace) one reference device's signature."""
         self._signatures[device] = signature
+        self._packed_stale = True
 
     def remove(self, device: MacAddress) -> None:
         """Forget a reference device."""
         del self._signatures[device]
+        self._packed_stale = True
 
     def get(self, device: MacAddress) -> Signature | None:
         """Signature of one device, if known."""
         return self._signatures.get(device)
+
+    def packed(self) -> PackedDatabase | None:
+        """The cached matrix view (``None`` for empty/ragged databases).
+
+        Rebuilt lazily after membership changes.  Mutating a stored
+        :class:`Signature` *in place* is not tracked — re-:meth:`add`
+        it to refresh the pack.
+        """
+        if self._packed_stale:
+            self._packed = (
+                PackedDatabase.from_signatures(list(self._signatures.items()))
+                if self._signatures
+                else None
+            )
+            self._packed_stale = False
+        return self._packed
 
     def __contains__(self, device: MacAddress) -> bool:
         return device in self._signatures

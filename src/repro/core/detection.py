@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.dot11.mac import MacAddress
 from repro.core.database import ReferenceDatabase
-from repro.core.matcher import match_signature
+from repro.core.matcher import batch_match_signatures
 from repro.core.metrics import (
     CurvePoint,
     IdentificationCurve,
@@ -59,18 +59,28 @@ def extract_window_candidates(
     config: DetectionConfig,
     measure: SimilarityMeasure | None = None,
 ) -> list[WindowCandidate]:
-    """Build and match all window candidates of a validation trace."""
+    """Build and match all window candidates of a validation trace.
+
+    Candidate signatures are collected first, then matched in a single
+    :func:`~repro.core.matcher.batch_match_signatures` call — for the
+    cosine measure that is one matrix–matrix product per frame type
+    over every (window, device) candidate at once.
+    """
     chosen = measure if measure is not None else config.measure
     candidates: list[WindowCandidate] = []
     for window_index, window in enumerate(validation.windows(config.window_s)):
         for device, signature in builder.build(window.frames).items():
-            candidate = WindowCandidate(
-                device=device, window_index=window_index, signature=signature
+            candidates.append(
+                WindowCandidate(
+                    device=device, window_index=window_index, signature=signature
+                )
             )
-            candidate.similarities = match_signature(
-                candidate.signature, database, chosen
-            )
-            candidates.append(candidate)
+    scores = batch_match_signatures(
+        [candidate.signature for candidate in candidates], database, chosen
+    )
+    devices = database.devices
+    for candidate, row in zip(candidates, scores):
+        candidate.similarities = dict(zip(devices, row.tolist()))
     return candidates
 
 

@@ -10,6 +10,13 @@ Out-of-range values are **clipped into the edge bins** by default so a
 heavy tail (e.g. very long inter-arrivals) still contributes mass
 instead of silently vanishing; ``drop_outside=True`` reproduces strict
 range-limited histograms.
+
+Binning has two code paths with identical results: the scalar
+:meth:`BinSpec.index` for one value at a time, and the vectorized
+:meth:`BinSpec.index_many`/:meth:`Histogram.add_array` pair that bins a
+whole observation array in one NumPy pass (see DESIGN.md "Batch matrix
+layout").  Discarded values are encoded as index ``-1`` in the
+vectorized path, mirroring ``None`` in the scalar one.
 """
 
 from __future__ import annotations
@@ -28,6 +35,20 @@ class BinSpec:
     def index(self, value: float) -> int | None:
         """Bin index for ``value`` (``None`` = discard the value)."""
         raise NotImplementedError
+
+    def index_many(self, values: np.ndarray) -> np.ndarray:
+        """Bin indices for an array of values (``-1`` = discard).
+
+        The base implementation loops over :meth:`index` so any custom
+        ``BinSpec`` subclass is automatically batch-capable; the
+        built-in specs override it with fully vectorized versions.
+        """
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        indices = np.empty(flat.shape[0], dtype=np.int64)
+        for position, value in enumerate(flat):
+            index = self.index(float(value))
+            indices[position] = -1 if index is None else index
+        return indices
 
     def bin_label(self, index: int) -> str:
         """Human-readable label of one bin (for rendering)."""
@@ -61,6 +82,27 @@ class UniformBins(BinSpec):
             return None if self.drop_outside else self.bin_count - 1
         return int((value - self.lo) / self.width)
 
+    def index_many(self, values: np.ndarray) -> np.ndarray:
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        if np.isnan(flat).any():
+            # Parity with the scalar path, where int(nan) raises.
+            raise ValueError("cannot bin NaN values")
+        below = flat < self.lo
+        above = flat >= self.hi
+        # Out-of-range values (±inf included) are replaced before the
+        # integer cast so it never sees a non-finite quotient; their
+        # indices are overwritten by the masks below.  In-range values
+        # use the same arithmetic as the scalar path: quotients are
+        # non-negative, so int64 truncation equals the scalar int().
+        safe = np.where(below | above, self.lo, flat)
+        indices = ((safe - self.lo) / self.width).astype(np.int64)
+        if self.drop_outside:
+            indices[below | above] = -1
+        else:
+            indices[below] = 0
+            indices[above] = self.bin_count - 1
+        return indices
+
     def bin_label(self, index: int) -> str:
         low = self.lo + index * self.width
         return f"[{low:g},{min(low + self.width, self.hi):g})"
@@ -77,14 +119,63 @@ class CategoricalBins(BinSpec):
         if not self.categories:
             raise ValueError("at least one category required")
         object.__setattr__(self, "bin_count", len(self.categories))
+        order = np.argsort(self.categories, kind="stable")
+        object.__setattr__(self, "_sorted", np.asarray(self.categories, dtype=np.float64)[order])
+        object.__setattr__(self, "_order", order.astype(np.int64))
+        # When tolerance windows overlap, "first category in tuple
+        # order" can differ from "nearest category"; the searchsorted
+        # path only sees the two nearest neighbours, so fall back to
+        # the scan that preserves the declared-order semantics.
+        gaps = np.diff(self._sorted)
+        object.__setattr__(
+            self, "_overlapping", bool(gaps.size and gaps.min() <= 2 * self.tolerance)
+        )
 
     bin_count: int = field(init=False, default=0)
+    _sorted: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+    _order: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+    _overlapping: bool = field(init=False, repr=False, compare=False, default=False)
 
     def index(self, value: float) -> int | None:
+        if self._overlapping:
+            return self._index_scan(value)
+        position = int(np.searchsorted(self._sorted, value))
+        best: int | None = None
+        best_distance = self.tolerance
+        for neighbour in (position - 1, position):
+            if 0 <= neighbour < self.bin_count:
+                distance = abs(value - float(self._sorted[neighbour]))
+                if distance <= best_distance:
+                    best = int(self._order[neighbour])
+                    best_distance = distance
+        return best
+
+    def _index_scan(self, value: float) -> int | None:
         for position, category in enumerate(self.categories):
             if abs(value - category) <= self.tolerance:
                 return position
         return None
+
+    def index_many(self, values: np.ndarray) -> np.ndarray:
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        if self._overlapping:
+            return super().index_many(flat)
+        positions = np.searchsorted(self._sorted, flat)
+        left = np.clip(positions - 1, 0, self.bin_count - 1)
+        right = np.clip(positions, 0, self.bin_count - 1)
+        left_distance = np.abs(flat - self._sorted[left])
+        right_distance = np.abs(flat - self._sorted[right])
+        # The scalar path prefers the left neighbour on exact distance
+        # ties; with non-overlapping tolerance windows at most one
+        # neighbour can actually be in range, so <= keeps them equal.
+        take_left = left_distance <= right_distance
+        nearest = np.where(take_left, left, right)
+        distance = np.where(take_left, left_distance, right_distance)
+        indices = self._order[nearest]
+        # ~(d <= tol) rather than d > tol so NaN distances (NaN input)
+        # are discarded, matching the scalar comparison semantics.
+        indices[~(distance <= self.tolerance)] = -1
+        return indices
 
     def bin_label(self, index: int) -> str:
         return f"{self.categories[index]:g}"
@@ -115,6 +206,24 @@ class Histogram:
         for value in values:
             if self.add(value):
                 kept += 1
+        return kept
+
+    def add_array(self, values: np.ndarray) -> int:
+        """Record a whole observation array in one vectorized pass.
+
+        Equivalent to :meth:`add_many` (property-tested) but bins with
+        :meth:`BinSpec.index_many` and accumulates via ``np.bincount``.
+        Returns how many observations were kept.
+        """
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        if flat.size == 0:
+            return 0
+        indices = self.spec.index_many(flat)
+        kept_indices = indices[indices >= 0]
+        if kept_indices.size:
+            self.counts += np.bincount(kept_indices, minlength=self.spec.bin_count)
+        kept = int(kept_indices.size)
+        self.total += kept
         return kept
 
     def frequencies(self) -> np.ndarray:

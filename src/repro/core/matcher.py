@@ -11,22 +11,76 @@ A reference lacking a frame type the candidate shows contributes 0 for
 that type (its weight for the type is 0), naturally penalising
 behavioural mismatches.  The result is the similarity vector
 ``<sim_1, …, sim_N>`` over the reference devices.
+
+Matrix formulation
+------------------
+
+Because cosine similarity is a normalised inner product, Algorithm 1
+is a sum of matrix products.  Pack the database per frame type ``f``
+into the unit-row matrix ``R̂_f`` (row ``i`` is
+``hist^f(r_i)/‖hist^f(r_i)‖``, all-zero when device ``i`` lacks ``f``)
+and the weight vector ``w_f`` (:class:`~repro.core.database.PackedDatabase`);
+normalise the candidate histogram to ``ĉ_f``.  Then the whole
+similarity vector is
+
+``sim = Σ_f  w_f ⊙ clip(R̂_f ĉ_f, 0, 1)``
+
+one matrix–vector product per frame type instead of N·|ftypes| scalar
+cosine calls.  For M candidates at once, stack the ``ĉ_f`` rows into
+``Ĉ_f`` and the ``(M, N)`` similarity matrix is
+``Σ_f clip(Ĉ_f R̂_fᵀ, 0, 1) ⊙ w_f`` — a matrix–matrix product per
+frame type (:func:`batch_match_signatures`).  Zero-norm rows stay
+all-zero under :func:`~repro.core.similarity.normalize_rows`, which
+reproduces the scalar zero-norm convention, and a candidate frame type
+no reference exhibits contributes nothing, exactly as in the scalar
+loop.
+
+:func:`match_signature` takes this fast path automatically when the
+measure *is* :func:`~repro.core.similarity.cosine_similarity`; any
+other :class:`~repro.core.similarity.SimilarityMeasure` (or a database
+that cannot be packed into rectangular matrices) falls back to the
+original scalar loop with identical results.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.dot11.mac import MacAddress
-from repro.core.database import ReferenceDatabase
+from repro.core.database import PackedDatabase, ReferenceDatabase
 from repro.core.signature import Signature
-from repro.core.similarity import SimilarityMeasure, cosine_similarity
+from repro.core.similarity import (
+    SimilarityMeasure,
+    _EPS,
+    cosine_similarity,
+    normalize_rows,
+    unit_cosine_product,
+)
 
 
-def match_signature(
+def _cosine_scores(candidate: Signature, packed: PackedDatabase) -> np.ndarray:
+    """The matrix formulation for one candidate: ``Σ_f w_f ⊙ clip(R̂_f ĉ_f)``."""
+    totals = np.zeros(len(packed.devices), dtype=np.float64)
+    for ftype_key, candidate_hist in candidate.histograms.items():
+        references = packed.normalized.get(ftype_key)
+        if references is None:
+            continue  # no reference exhibits this type: contributes 0
+        norm = float(np.linalg.norm(candidate_hist))
+        if norm < _EPS:
+            continue
+        scores = unit_cosine_product(candidate_hist / norm, references)[0]
+        totals += packed.weights[ftype_key] * scores
+    return totals
+
+
+def _scalar_match(
     candidate: Signature,
     database: ReferenceDatabase,
-    measure: SimilarityMeasure = cosine_similarity,
+    measure: SimilarityMeasure,
 ) -> dict[MacAddress, float]:
-    """Run Algorithm 1; returns per-reference combined similarities."""
+    """The original per-pair loop, kept for non-cosine measures."""
     similarities: dict[MacAddress, float] = {device: 0.0 for device in database}
     for ftype_key, candidate_hist in candidate.histograms.items():
         for device, reference in database.items():
@@ -36,6 +90,62 @@ def match_signature(
             score = measure(candidate_hist, reference_hist)
             similarities[device] += reference.weight(ftype_key) * score
     return similarities
+
+
+def match_signature(
+    candidate: Signature,
+    database: ReferenceDatabase,
+    measure: SimilarityMeasure = cosine_similarity,
+) -> dict[MacAddress, float]:
+    """Run Algorithm 1; returns per-reference combined similarities.
+
+    Uses the packed matrix fast path for the cosine measure and the
+    scalar loop otherwise; both yield the same numbers.
+    """
+    packed = database.packed() if measure is cosine_similarity else None
+    if packed is None:
+        return _scalar_match(candidate, database, measure)
+    scores = _cosine_scores(candidate, packed)
+    return dict(zip(packed.devices, scores.tolist()))
+
+
+def batch_match_signatures(
+    candidates: Sequence[Signature],
+    database: ReferenceDatabase,
+    measure: SimilarityMeasure = cosine_similarity,
+) -> np.ndarray:
+    """Algorithm 1 for many candidates at once.
+
+    Returns the ``(len(candidates), len(database))`` similarity matrix
+    whose row ``i`` equals ``match_signature(candidates[i], database,
+    measure)`` values in database insertion order (``database.devices``).
+    For the cosine measure this is one matrix–matrix product per frame
+    type; other measures fall back to the scalar loop per row.
+    """
+    packed = database.packed() if measure is cosine_similarity else None
+    if packed is None:
+        return np.array(
+            [
+                list(_scalar_match(candidate, database, measure).values())
+                for candidate in candidates
+            ],
+            dtype=np.float64,
+        ).reshape(len(candidates), len(database))
+    totals = np.zeros((len(candidates), len(packed.devices)), dtype=np.float64)
+    for ftype_key, references in packed.normalized.items():
+        rows = [
+            row
+            for row, candidate in enumerate(candidates)
+            if ftype_key in candidate.histograms
+        ]
+        if not rows:
+            continue
+        stacked = np.stack(
+            [candidates[row].histograms[ftype_key] for row in rows]
+        ).astype(np.float64, copy=False)
+        scores = unit_cosine_product(normalize_rows(stacked), references)
+        totals[rows] += scores * packed.weights[ftype_key]
+    return totals
 
 
 def best_match(

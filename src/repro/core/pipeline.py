@@ -5,6 +5,13 @@
 reference database, window the validation part, match candidates and
 score both tests.  The benchmark suite calls this once per
 table/figure cell.
+
+Both hot phases ride the vectorized batch engine: signature
+construction bins observation arrays in one NumPy pass per (device,
+frame type) bucket, and all window candidates are matched against the
+packed reference matrices in a single
+:func:`~repro.core.matcher.batch_match_signatures` call (see DESIGN.md
+"Batch matrix layout").
 """
 
 from __future__ import annotations

@@ -88,14 +88,22 @@ class SignatureBuilder:
         Devices with fewer than ``min_observations`` kept observations
         are omitted, mirroring the paper's tool.
         """
-        accumulators: dict[MacAddress, dict[str, Histogram]] = {}
+        # Gather raw values per (sender, frame type) first, then bin
+        # each bucket in one vectorized Histogram.add_array pass —
+        # identical counts to per-value add(), without the per-value
+        # Python dispatch.
+        buckets: dict[MacAddress, dict[str, list[float]]] = {}
         for observation in self.parameter.observations(frames):
-            per_type = accumulators.setdefault(observation.sender, {})
-            histogram = per_type.get(observation.ftype_key)
-            if histogram is None:
+            per_type = buckets.setdefault(observation.sender, {})
+            per_type.setdefault(observation.ftype_key, []).append(observation.value)
+
+        accumulators: dict[MacAddress, dict[str, Histogram]] = {}
+        for sender, values_by_type in buckets.items():
+            per_type = accumulators.setdefault(sender, {})
+            for ftype_key, values in values_by_type.items():
                 histogram = Histogram(self.bins)
-                per_type[observation.ftype_key] = histogram
-            histogram.add(observation.value)
+                histogram.add_array(np.asarray(values, dtype=np.float64))
+                per_type[ftype_key] = histogram
 
         signatures: dict[MacAddress, Signature] = {}
         for sender, per_type in accumulators.items():

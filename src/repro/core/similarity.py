@@ -12,6 +12,12 @@ leaves "the most adequate signal processing method" open, the module
 also ships the classic alternatives used in the ablation benchmark:
 intersection, chi-square, Bhattacharyya and Jensen–Shannon.  All are
 *similarities* normalised to [0, 1] with 1 = identical.
+
+The batch matching engine (see DESIGN.md "Batch matrix layout") needs
+cosine over whole histogram matrices at once: :func:`normalize_rows`
+and :func:`cosine_similarity_matrix` are the vectorized kernels, with
+the same zero-norm semantics as the scalar :func:`cosine_similarity`
+(an all-zero histogram scores 0 against everything).
 """
 
 from __future__ import annotations
@@ -49,6 +55,54 @@ def cosine_similarity(candidate: np.ndarray, reference: np.ndarray) -> float:
 def cosine_distance(candidate: np.ndarray, reference: np.ndarray) -> float:
     """The paper's printed formula: ``1 − cosine_similarity``."""
     return 1.0 - cosine_similarity(candidate, reference)
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Rows scaled to unit L2 norm; all-zero rows stay all-zero.
+
+    A zero row then contributes 0 to any dot product, which is exactly
+    the scalar :func:`cosine_similarity` zero-norm convention.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+    return matrix / np.where(norms < _EPS, 1.0, norms)
+
+
+def unit_cosine_product(
+    unit_candidates: np.ndarray, unit_references: np.ndarray
+) -> np.ndarray:
+    """Clipped cosine scores of already unit-normalised rows.
+
+    ``(M, bins) × (N, bins) → (M, N)`` in one matrix–matrix product —
+    the batch engine's hot path, which keeps reference rows
+    pre-normalised (:class:`~repro.core.database.PackedDatabase`) so
+    they are not renormalised on every call.  Rows must be unit-norm
+    or all-zero (see :func:`normalize_rows`); results are clipped to
+    [0, 1] like the scalar measure.
+    """
+    unit_candidates = np.atleast_2d(np.asarray(unit_candidates, dtype=np.float64))
+    unit_references = np.atleast_2d(np.asarray(unit_references, dtype=np.float64))
+    if unit_candidates.shape[-1] != unit_references.shape[-1]:
+        raise ValueError(
+            f"histogram shapes differ: {unit_candidates.shape} vs "
+            f"{unit_references.shape}"
+        )
+    scores = unit_candidates @ unit_references.T
+    np.clip(scores, 0.0, 1.0, out=scores)
+    return scores
+
+
+def cosine_similarity_matrix(
+    candidates: np.ndarray, references: np.ndarray
+) -> np.ndarray:
+    """Pairwise cosine similarities, ``(M, bins) × (N, bins) → (M, N)``.
+
+    One matrix–matrix product replaces M·N scalar
+    :func:`cosine_similarity` calls; rows with zero norm score 0
+    against everything.  Results are clipped to [0, 1] like the scalar
+    measure.
+    """
+    return unit_cosine_product(normalize_rows(candidates), normalize_rows(references))
 
 
 def intersection_similarity(candidate: np.ndarray, reference: np.ndarray) -> float:

@@ -1,0 +1,233 @@
+"""Equivalence tests for the vectorized batch matching engine.
+
+The batch matrix formulation (packed database + matrix products) must
+reproduce the scalar Algorithm 1 loop bit-for-bit up to float rounding
+(atol 1e-9): per-candidate via :func:`match_signature`'s fast path and
+row-wise via :func:`batch_match_signatures`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dot11.mac import MacAddress, vendor_mac
+from repro.core.database import PackedDatabase, ReferenceDatabase
+from repro.core.matcher import (
+    _scalar_match,
+    batch_match_signatures,
+    best_match,
+    match_signature,
+)
+from repro.core.signature import Signature
+from repro.core.similarity import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    intersection_similarity,
+    normalize_rows,
+)
+
+FRAME_TYPES = ("Data", "Beacon", "RTS", "Probe Request")
+
+
+def random_signature(rng: np.random.Generator, bins: int = 40) -> Signature:
+    """A signature over a random subset of FRAME_TYPES."""
+    present = [f for f in FRAME_TYPES if rng.random() < 0.7] or [FRAME_TYPES[0]]
+    counts = {f: int(rng.integers(1, 60)) for f in present}
+    total = sum(counts.values())
+    histograms = {}
+    for ftype in present:
+        values = rng.random(bins)
+        values[rng.random(bins) < 0.5] = 0.0  # sparse support, like real bins
+        top = values.sum()
+        histograms[ftype] = values / top if top else values
+    return Signature(
+        histograms=histograms,
+        weights={f: counts[f] / total for f in present},
+        observation_counts=counts,
+    )
+
+
+def random_database(
+    rng: np.random.Generator, devices: int = 30, bins: int = 40
+) -> ReferenceDatabase:
+    database = ReferenceDatabase()
+    for i in range(devices):
+        database.add(vendor_mac("00:13:e8", i + 1), random_signature(rng, bins))
+    return database
+
+
+def forced_scalar(candidate, database):
+    """Algorithm 1 through the original per-pair loop."""
+    return _scalar_match(candidate, database, cosine_similarity)
+
+
+class TestMatchSignatureFastPath:
+    def test_matches_scalar_loop_on_random_databases(self):
+        rng = np.random.default_rng(42)
+        for _ in range(5):
+            database = random_database(rng)
+            for _ in range(10):
+                candidate = random_signature(rng)
+                fast = match_signature(candidate, database)
+                slow = forced_scalar(candidate, database)
+                assert list(fast) == list(slow)  # same device order
+                np.testing.assert_allclose(
+                    list(fast.values()), list(slow.values()), atol=1e-9
+                )
+
+    def test_non_cosine_measure_uses_scalar_path(self):
+        rng = np.random.default_rng(1)
+        database = random_database(rng, devices=5)
+        candidate = random_signature(rng)
+        scores = match_signature(candidate, database, intersection_similarity)
+        expected = _scalar_match(candidate, database, intersection_similarity)
+        assert scores == expected
+
+    def test_best_match_agrees_with_scalar(self):
+        rng = np.random.default_rng(2)
+        database = random_database(rng, devices=20)
+        for _ in range(10):
+            candidate = random_signature(rng)
+            winner, score = best_match(candidate, database)
+            slow = forced_scalar(candidate, database)
+            slow_winner = max(slow, key=lambda d: (slow[d], ))
+            # argmax up to float noise: the winner's scores must agree
+            assert score == pytest.approx(slow[winner], abs=1e-9)
+            assert slow[slow_winner] <= score + 1e-9
+
+    def test_bin_mismatch_raises_like_scalar(self):
+        database = ReferenceDatabase()
+        database.add(
+            vendor_mac("00:13:e8", 1),
+            Signature(histograms={"Data": np.array([1.0, 0.0])}, weights={"Data": 1.0}),
+        )
+        candidate = Signature(
+            histograms={"Data": np.array([1.0, 0.0, 0.0])}, weights={"Data": 1.0}
+        )
+        with pytest.raises(ValueError):
+            match_signature(candidate, database)
+        with pytest.raises(ValueError):
+            forced_scalar(candidate, database)
+
+
+class TestBatchMatchSignatures:
+    def test_rows_equal_match_signature(self):
+        rng = np.random.default_rng(3)
+        database = random_database(rng)
+        candidates = [random_signature(rng) for _ in range(25)]
+        matrix = batch_match_signatures(candidates, database)
+        assert matrix.shape == (25, len(database))
+        for row, candidate in zip(matrix, candidates):
+            np.testing.assert_allclose(
+                row, list(match_signature(candidate, database).values()), atol=1e-9
+            )
+            np.testing.assert_allclose(
+                row, list(forced_scalar(candidate, database).values()), atol=1e-9
+            )
+
+    def test_non_cosine_fallback_matrix(self):
+        rng = np.random.default_rng(4)
+        database = random_database(rng, devices=6)
+        candidates = [random_signature(rng) for _ in range(4)]
+        matrix = batch_match_signatures(candidates, database, intersection_similarity)
+        for row, candidate in zip(matrix, candidates):
+            expected = _scalar_match(candidate, database, intersection_similarity)
+            np.testing.assert_allclose(row, list(expected.values()), atol=1e-12)
+
+    def test_empty_database_and_empty_candidates(self):
+        rng = np.random.default_rng(5)
+        database = random_database(rng, devices=4)
+        assert batch_match_signatures([], database).shape == (0, 4)
+        empty = ReferenceDatabase()
+        candidates = [random_signature(rng)]
+        assert batch_match_signatures(candidates, empty).shape == (1, 0)
+
+    def test_candidate_only_frame_type_contributes_zero(self):
+        database = ReferenceDatabase()
+        database.add(
+            vendor_mac("00:13:e8", 1),
+            Signature(histograms={"Data": np.array([1.0, 0.0])}, weights={"Data": 1.0}),
+        )
+        candidate = Signature(
+            histograms={"CTS": np.array([0.5, 0.5])}, weights={"CTS": 1.0}
+        )
+        assert batch_match_signatures([candidate], database)[0, 0] == 0.0
+
+
+class TestPackedDatabase:
+    def test_layout_matches_insertion_order(self):
+        rng = np.random.default_rng(6)
+        database = random_database(rng, devices=8)
+        packed = database.packed()
+        assert packed is not None
+        assert list(packed.devices) == database.devices
+        for ftype, matrix in packed.frequencies.items():
+            assert matrix.shape == (8, packed.bin_count(ftype))
+            for row, device in enumerate(packed.devices):
+                signature = database.get(device)
+                histogram = signature.histogram(ftype)
+                if histogram is None:
+                    assert not matrix[row].any()
+                    assert packed.weights[ftype][row] == 0.0
+                else:
+                    np.testing.assert_array_equal(matrix[row], histogram)
+                    assert packed.weights[ftype][row] == signature.weight(ftype)
+
+    def test_cache_invalidation_on_add_and_remove(self):
+        rng = np.random.default_rng(7)
+        database = random_database(rng, devices=3)
+        first = database.packed()
+        assert database.packed() is first  # cached
+        database.add(vendor_mac("00:13:e8", 99), random_signature(rng))
+        second = database.packed()
+        assert second is not first and len(second.devices) == 4
+        database.remove(vendor_mac("00:13:e8", 99))
+        assert len(database.packed().devices) == 3
+
+    def test_empty_database_packs_to_none(self):
+        assert ReferenceDatabase().packed() is None
+
+    def test_ragged_bins_fall_back_to_scalar(self):
+        database = ReferenceDatabase()
+        database.add(
+            vendor_mac("00:13:e8", 1),
+            Signature(histograms={"Data": np.array([1.0, 0.0])}, weights={"Data": 1.0}),
+        )
+        database.add(
+            vendor_mac("00:13:e8", 2),
+            Signature(
+                histograms={"Data": np.array([1.0, 0.0, 0.0])}, weights={"Data": 1.0}
+            ),
+        )
+        assert database.packed() is None
+        candidate = Signature(
+            histograms={"Beacon": np.array([1.0, 0.0])}, weights={"Beacon": 1.0}
+        )
+        # Candidate avoids the ragged type, so the scalar loop handles it.
+        scores = match_signature(candidate, database)
+        assert all(score == 0.0 for score in scores.values())
+
+
+class TestVectorizedCosineKernels:
+    def test_cosine_similarity_matrix_matches_scalar(self):
+        rng = np.random.default_rng(8)
+        candidates = rng.random((7, 12))
+        references = rng.random((5, 12))
+        references[2] = 0.0  # zero-norm row convention
+        matrix = cosine_similarity_matrix(candidates, references)
+        for i in range(7):
+            for j in range(5):
+                assert matrix[i, j] == pytest.approx(
+                    cosine_similarity(candidates[i], references[j]), abs=1e-12
+                )
+
+    def test_normalize_rows_keeps_zero_rows(self):
+        rows = np.array([[3.0, 4.0], [0.0, 0.0]])
+        unit = normalize_rows(rows)
+        np.testing.assert_allclose(unit[0], [0.6, 0.8])
+        assert not unit[1].any()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cosine_similarity_matrix(np.ones((2, 3)), np.ones((2, 4)))

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.histogram import CategoricalBins, Histogram, UniformBins
+from repro.core.histogram import BinSpec, CategoricalBins, Histogram, UniformBins
 
 
 class TestUniformBins:
@@ -128,3 +128,75 @@ class TestHistogram:
         if values:
             assert frequencies.sum() == pytest.approx(1.0)
         assert histogram.total == len(values)  # clipping keeps everything
+
+
+VECTOR_SPECS = [
+    UniformBins(lo=0, hi=100, width=7),
+    UniformBins(lo=-20, hi=80, width=13, drop_outside=True),
+    CategoricalBins(categories=(5.5, 1.0, 54.0, 2.0, 11.0)),
+    CategoricalBins(categories=(1.0, 1.1, 1.2), tolerance=0.08),
+    # Overlapping tolerance windows exercise the declared-order
+    # fallback path.
+    CategoricalBins(categories=(5.0, 5.1), tolerance=0.2),
+]
+
+
+class TestVectorizedEquivalence:
+    """The scalar and vectorized paths must agree bin for bin."""
+
+    @pytest.mark.parametrize("spec", VECTOR_SPECS, ids=lambda s: type(s).__name__ + str(s.bin_count))
+    @given(values=st.lists(st.floats(min_value=-60, max_value=160, allow_nan=False), max_size=150))
+    def test_index_many_matches_index(self, spec, values):
+        array = np.array(values, dtype=np.float64)
+        vectorized = spec.index_many(array)
+        scalar = [spec.index(v) for v in values]
+        assert [None if i < 0 else int(i) for i in vectorized] == scalar
+
+    @pytest.mark.parametrize("spec", VECTOR_SPECS, ids=lambda s: type(s).__name__ + str(s.bin_count))
+    @given(values=st.lists(st.floats(min_value=-60, max_value=160, allow_nan=False), max_size=150))
+    def test_add_array_matches_add_many(self, spec, values):
+        one_by_one = Histogram(spec)
+        batched = Histogram(spec)
+        kept_scalar = one_by_one.add_many(values)
+        kept_vector = batched.add_array(np.array(values, dtype=np.float64))
+        assert kept_scalar == kept_vector
+        assert one_by_one.total == batched.total
+        assert np.array_equal(one_by_one.counts, batched.counts)
+
+    def test_add_array_empty(self):
+        histogram = Histogram(UniformBins(lo=0, hi=10, width=1))
+        assert histogram.add_array(np.array([])) == 0
+        assert histogram.total == 0
+
+    def test_uniform_nan_raises_like_scalar(self):
+        bins = UniformBins(lo=0, hi=10, width=1)
+        with pytest.raises(ValueError):
+            bins.index(float("nan"))
+        with pytest.raises(ValueError):
+            bins.index_many(np.array([1.0, float("nan")]))
+
+    def test_uniform_infinities_clip_like_scalar(self):
+        for drop in (False, True):
+            bins = UniformBins(lo=0, hi=10, width=1, drop_outside=drop)
+            values = np.array([float("-inf"), float("inf"), 5.0])
+            vectorized = bins.index_many(values)
+            scalar = [bins.index(v) for v in values]
+            assert [None if i < 0 else int(i) for i in vectorized] == scalar
+
+    def test_categorical_nan_discarded_both_paths(self):
+        bins = CategoricalBins(categories=(1.0, 2.0))
+        assert bins.index(float("nan")) is None
+        assert bins.index_many(np.array([float("nan"), 1.0])).tolist() == [-1, 0]
+
+    def test_index_many_generic_fallback(self):
+        bins = CategoricalBins(categories=(1.0, 2.0, 3.0))
+        values = np.array([1.0, 2.5, 3.0, 9.0])
+        generic = BinSpec.index_many(bins, values)
+        assert np.array_equal(generic, bins.index_many(values))
+
+    def test_categorical_index_is_sublinear_ready(self):
+        # The sorted lookup must keep exact declared-order positions.
+        bins = CategoricalBins(categories=(54.0, 1.0, 11.0, 2.0, 5.5))
+        for position, category in enumerate(bins.categories):
+            assert bins.index(category) == position
+            assert bins.index_many(np.array([category]))[0] == position
