@@ -12,7 +12,10 @@ scale is ``REPRO_BENCH_SCALE=8`` and several hours of compute).
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+from pathlib import Path
 
 import pytest
 
@@ -104,6 +107,35 @@ DATASET_ORDER = ("conference1", "conference2", "office1", "office2")
 def bench_scale() -> float:
     """Dataset scale factor from the environment."""
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_smoke() -> bool:
+    """Reduced-size benchmark mode (the CI smoke job sets this).
+
+    Smoke mode shrinks the perf workloads and relaxes the throughput
+    assertions so slow shared runners still gate regressions without
+    multi-minute runs; the emitted ``BENCH_*.json`` records which mode
+    produced the numbers.
+    """
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist one benchmark's results as ``BENCH_<name>.json``.
+
+    Written to ``REPRO_BENCH_OUT`` (default: the working directory) so
+    CI can collect the perf trajectory as machine-readable artifacts.
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    enriched = dict(payload)
+    enriched.setdefault("benchmark", name)
+    enriched.setdefault("smoke_mode", bench_smoke())
+    enriched.setdefault("python", platform.python_version())
+    enriched.setdefault("machine", platform.machine())
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(enriched, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")

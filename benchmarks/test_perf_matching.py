@@ -22,13 +22,16 @@ from repro.core.database import ReferenceDatabase
 from repro.core.matcher import _scalar_match, batch_match_signatures
 from repro.core.signature import Signature
 from repro.core.similarity import cosine_similarity
+from benchmarks.conftest import bench_smoke, write_bench_json
 
-DEVICES = 200
-WINDOWS = 10_000
+#: Reduced sizes (and a relaxed bar) under REPRO_BENCH_SMOKE=1.
+SMOKE = bench_smoke()
+DEVICES = 50 if SMOKE else 200
+WINDOWS = 500 if SMOKE else 10_000
 BINS = 75
 FRAME_TYPES = ("Data", "Beacon", "RTS")
-SCALAR_SAMPLE = 100
-REQUIRED_SPEEDUP = 10.0
+SCALAR_SAMPLE = 50 if SMOKE else 100
+REQUIRED_SPEEDUP = 3.0 if SMOKE else 10.0
 
 
 def _random_signature(rng: np.random.Generator) -> Signature:
@@ -82,6 +85,19 @@ def test_batch_engine_throughput(benchmark):
     print(
         f"\nscalar: {scalar_rate:,.0f} candidates/s  "
         f"batch: {batch_rate:,.0f} candidates/s  speedup: {speedup:,.1f}x"
+    )
+    write_bench_json(
+        "matching",
+        {
+            "devices": DEVICES,
+            "windows": WINDOWS,
+            "bins": BINS,
+            "scalar_candidates_per_s": scalar_rate,
+            "batch_candidates_per_s": batch_rate,
+            "batch_seconds": batch_seconds,
+            "speedup": speedup,
+            "required_speedup": REQUIRED_SPEEDUP,
+        },
     )
     assert speedup >= REQUIRED_SPEEDUP, (
         f"batch path only {speedup:.1f}x over scalar (need ≥{REQUIRED_SPEEDUP}x)"

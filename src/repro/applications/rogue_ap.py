@@ -81,13 +81,28 @@ class RogueApDetector:
         The combined similarity follows Algorithm 1 with the stored
         reference as the single database entry.
         """
-        if self._reference is None or self._ap is None:
-            raise RuntimeError("RogueApDetector.check called before learn()")
         own = ap_own_frames(frames, claimed_ap)
         signature = self.builder.build_single(own, claimed_ap)
+        return self.check_signature(signature, claimed_ap, observations=len(own))
+
+    def check_signature(
+        self,
+        signature: Signature | None,
+        claimed_ap: MacAddress,
+        observations: int = 0,
+    ) -> RogueApVerdict:
+        """Verdict from an already-built (possibly absent) AP signature.
+
+        ``observations`` is only reported when the signature itself is
+        missing (too little own traffic — treated as rogue, since a
+        silent "AP" answering clients is itself anomalous).  This is
+        also the streaming rogue-AP guard's per-window entry point.
+        """
+        if self._reference is None or self._ap is None:
+            raise RuntimeError("RogueApDetector.check called before learn()")
         if signature is None:
             return RogueApVerdict(
-                ap=claimed_ap, similarity=0.0, is_rogue=True, observations=len(own)
+                ap=claimed_ap, similarity=0.0, is_rogue=True, observations=observations
             )
         combined = 0.0
         for ftype_key, candidate_hist in signature.histograms.items():

@@ -18,7 +18,7 @@ from repro.dot11.mac import MacAddress
 from repro.core.database import ReferenceDatabase
 from repro.core.matcher import match_signature
 from repro.core.parameters import InterArrivalTime, NetworkParameter
-from repro.core.signature import SignatureBuilder
+from repro.core.signature import Signature, SignatureBuilder
 
 
 class SpoofVerdict(enum.Enum):
@@ -85,9 +85,24 @@ class SpoofDetector:
 
     def check_window(self, frames: list[CapturedFrame]) -> list[SpoofCheck]:
         """Fingerprint one detection window; verdict per active device."""
+        return self.check_signatures(
+            self.builder.build(frames),
+            {c.sender for c in frames if c.sender is not None},
+        )
+
+    def check_signatures(
+        self,
+        signatures: dict[MacAddress, Signature],
+        active: set[MacAddress],
+    ) -> list[SpoofCheck]:
+        """Verdicts from already-built window signatures.
+
+        ``active`` is every sender seen in the window — devices too
+        quiet to clear the signature gate still get an INSUFFICIENT
+        verdict.  This is also the streaming spoof guard's per-window
+        entry point.
+        """
         checks: list[SpoofCheck] = []
-        signatures = self.builder.build(frames)
-        active = {c.sender for c in frames if c.sender is not None}
         for device in sorted(active, key=lambda m: m.value):
             if device not in self.database:
                 checks.append(

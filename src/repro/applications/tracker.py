@@ -15,9 +15,9 @@ from dataclasses import dataclass, field
 from repro.dot11.capture import CapturedFrame
 from repro.dot11.mac import MacAddress
 from repro.core.database import ReferenceDatabase
-from repro.core.matcher import match_signature
+from repro.core.matcher import batch_match_signatures
 from repro.core.parameters import InterArrivalTime, NetworkParameter
-from repro.core.signature import SignatureBuilder
+from repro.core.signature import Signature, SignatureBuilder
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,23 +84,34 @@ class DeviceTracker:
             self.database.add(device, signature)
         return len(signatures)
 
-    def track_window(
-        self, frames: list[CapturedFrame], window_index: int = 0
+    def link_signatures(
+        self, signatures: dict[MacAddress, Signature], window_index: int = 0
     ) -> list[PseudonymLink]:
-        """Link every pseudonymous sender in one observation window.
+        """Link already-built window signatures to learnt devices.
 
         Only locally-administered (randomised-looking) addresses are
         treated as pseudonyms; devices still using their real address
-        are trivially trackable and skipped.
+        are trivially trackable and skipped.  All pseudonyms of the
+        window are matched in one
+        :func:`~repro.core.matcher.batch_match_signatures` call — a
+        single matrix product per frame type instead of the former
+        per-pseudonym scalar loop.  This is also the streaming live
+        tracker's per-window entry point.
         """
+        pseudonyms = [
+            sender for sender in signatures if sender.is_locally_administered
+        ]
+        if not pseudonyms:
+            return []
+        scores = batch_match_signatures(
+            [signatures[pseudonym] for pseudonym in pseudonyms], self.database
+        )
+        references = self.database.devices
         links: list[PseudonymLink] = []
-        for pseudonym, signature in self.builder.build(frames).items():
-            if not pseudonym.is_locally_administered:
-                continue
-            similarities = match_signature(signature, self.database)
+        for pseudonym, row in zip(pseudonyms, scores):
             best_device: MacAddress | None = None
             best_sim = 0.0
-            for device, sim in similarities.items():
+            for device, sim in zip(references, row.tolist()):
                 if sim > best_sim:
                     best_device, best_sim = device, sim
             if best_sim < self.link_threshold:
@@ -114,6 +125,12 @@ class DeviceTracker:
                 )
             )
         return links
+
+    def track_window(
+        self, frames: list[CapturedFrame], window_index: int = 0
+    ) -> list[PseudonymLink]:
+        """Link every pseudonymous sender in one observation window."""
+        return self.link_signatures(self.builder.build(frames), window_index)
 
     def track(self, windows: list[list[CapturedFrame]]) -> TrackingReport:
         """Track across a sequence of observation windows."""

@@ -15,7 +15,10 @@ simulator-produced):
 * ``repro-80211 simulate office --out office.pcap`` — produce a
   synthetic dataset pcap;
 * ``repro-80211 histogram capture.pcap --device <mac>`` — render a
-  device's inter-arrival histogram (Figure 2 style).
+  device's inter-arrival histogram (Figure 2 style);
+* ``repro-80211 stream capture.pcap --db refs.json`` — run the online
+  engine: the pcap is consumed frame-by-frame in bounded memory,
+  windows are matched live and alerts stream out as they happen.
 """
 
 from __future__ import annotations
@@ -145,6 +148,102 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.streaming import (
+        DeviceMatched,
+        JsonLinesSink,
+        LiveTracker,
+        OnlineSpoofGuard,
+        PseudonymLinked,
+        SpoofAlert,
+        StreamEngine,
+        StreamEvent,
+        StreamingSignatureBuilder,
+        WindowClosed,
+        WindowConfig,
+        pcap_source,
+    )
+
+    database, parameter_name = load_database(Path(args.db))
+    parameter = parameter_by_name(parameter_name)
+
+    analyzers = []
+    if args.spoof_guard:
+        from repro.applications.spoof_detector import SpoofDetector
+
+        detector = SpoofDetector(
+            parameter=parameter, min_observations=args.min_observations
+        )
+        detector.database = database  # the allow-list is the learnt db
+        analyzers.append(OnlineSpoofGuard(detector))
+    if args.track:
+        from repro.applications.tracker import DeviceTracker
+
+        tracker = DeviceTracker(
+            parameter=parameter, min_observations=args.min_observations
+        )
+        tracker.database = database
+        analyzers.append(LiveTracker(tracker))
+
+    def console_sink(event: StreamEvent) -> None:
+        if isinstance(event, WindowClosed):
+            if args.verbose:
+                print(
+                    f"window {event.window_index}: {event.frame_count} frames, "
+                    f"{event.candidate_count} candidates"
+                )
+        elif isinstance(event, DeviceMatched):
+            if args.verbose:
+                print(
+                    f"window {event.window_index}: {event.device} -> "
+                    f"{event.best_device} ({event.similarity:.3f})"
+                )
+        elif isinstance(event, SpoofAlert):
+            print(
+                f"ALERT window {event.window_index}: {event.device} "
+                f"{event.verdict} (self={event.self_similarity:.3f})"
+            )
+        elif isinstance(event, PseudonymLinked):
+            print(
+                f"LINK window {event.window_index}: {event.pseudonym} -> "
+                f"{event.linked_device} ({event.similarity:.3f})"
+            )
+
+    engine = StreamEngine(
+        lambda: StreamingSignatureBuilder(
+            parameter, min_observations=args.min_observations
+        ),
+        database=database,
+        window=WindowConfig(
+            window_s=args.window_s,
+            slide_s=args.slide_s,
+            idle_timeout_s=args.idle_timeout_s,
+        ),
+        analyzers=analyzers,
+        sinks=[console_sink],
+    )
+    events_file = None
+    if args.events:
+        events_file = open(args.events, "w")
+        engine.subscribe(JsonLinesSink(events_file))
+    try:
+        stats = engine.run(pcap_source(args.pcap, skip_bad_fcs=args.skip_bad_fcs))
+    finally:
+        if events_file is not None:
+            events_file.close()
+    by_type = ", ".join(
+        f"{name}={count}" for name, count in sorted(stats.events_by_type.items())
+    )
+    print(
+        f"streamed {stats.frames} frames ({stats.duration_s:.1f}s of capture) "
+        f"in {stats.windows_closed} windows: {stats.candidates} candidates, "
+        f"peak {stats.peak_resident_devices} resident devices"
+    )
+    if by_type:
+        print(f"events: {by_type}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.traces.datasets import build_dataset, _spec
 
@@ -212,6 +311,42 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--window-s", type=float, default=300.0)
     evaluate.add_argument("--min-observations", type=int, default=50)
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    stream = sub.add_parser(
+        "stream", help="online fingerprinting over a pcap (bounded memory)"
+    )
+    stream.add_argument("pcap")
+    stream.add_argument("--db", required=True, help="reference database JSON")
+    stream.add_argument("--window-s", type=float, default=300.0)
+    stream.add_argument(
+        "--slide-s",
+        type=float,
+        default=None,
+        help="sliding-window step (default: tumbling windows)",
+    )
+    stream.add_argument("--min-observations", type=int, default=50)
+    stream.add_argument(
+        "--idle-timeout-s",
+        type=float,
+        default=None,
+        help="evict devices idle this long inside a window (memory bound)",
+    )
+    stream.add_argument(
+        "--spoof-guard",
+        action="store_true",
+        help="alert when a database device's traffic stops matching it",
+    )
+    stream.add_argument(
+        "--track",
+        action="store_true",
+        help="link randomised MACs back to database devices",
+    )
+    stream.add_argument(
+        "--events", help="write every event as JSON lines to this file"
+    )
+    stream.add_argument("--skip-bad-fcs", action="store_true")
+    stream.add_argument("--verbose", action="store_true")
+    stream.set_defaults(func=_cmd_stream)
 
     simulate = sub.add_parser("simulate", help="generate a synthetic dataset pcap")
     simulate.add_argument(

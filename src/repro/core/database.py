@@ -10,8 +10,15 @@ view (:meth:`ReferenceDatabase.packed`): per frame type, one
 contiguous ``(N_devices, n_bins)`` frequency matrix, one ``(N_devices,)``
 weight vector, and the unit-normalised frequency rows — so Algorithm 1
 for cosine reduces to one matrix–vector product per frame type (see
-DESIGN.md "Batch matrix layout").  The packed view is cached and
-rebuilt lazily after :meth:`add`/:meth:`remove`.
+DESIGN.md "Batch matrix layout").
+
+The pack is maintained **incrementally** (DESIGN.md §4): matrices live
+in capacity-doubling buffers, so :meth:`add` costs amortised O(bins)
+per frame type (one row write + one row normalisation) instead of the
+full O(N·bins) repack, and :meth:`remove` one in-place row shift.
+Databases whose signatures disagree on a frame type's bin count cannot
+be packed; mutations detect this and drop back to the full-rebuild
+path until the conflict is resolved.
 """
 
 from __future__ import annotations
@@ -92,11 +99,177 @@ class PackedDatabase:
         return None if matrix is None else int(matrix.shape[-1])
 
 
+class _PackBuffers:
+    """Growable backing store for the incremental packed view.
+
+    Matrices are allocated with spare row capacity (doubling growth),
+    so registering or replacing one device writes one row per frame
+    type — amortised O(bins) — and removing one device shifts the rows
+    behind it up in place.  :meth:`snapshot` wraps ``[:count]`` views
+    into a :class:`PackedDatabase`; a snapshot therefore shares storage
+    with the live buffers and is only guaranteed stable until the next
+    membership change.
+    """
+
+    __slots__ = (
+        "devices",
+        "row_of",
+        "bin_counts",
+        "members",
+        "frequencies",
+        "weights",
+        "normalized",
+        "count",
+        "capacity",
+    )
+
+    def __init__(self, capacity: int = 8) -> None:
+        self.devices: list[MacAddress] = []
+        self.row_of: dict[MacAddress, int] = {}
+        self.bin_counts: dict[str, int] = {}
+        #: ftype → number of devices exhibiting it; a frame type whose
+        #: membership drops to zero is purged so its stale bin count
+        #: cannot shape-clash with future signatures or candidates.
+        self.members: dict[str, int] = {}
+        self.frequencies: dict[str, np.ndarray] = {}
+        self.weights: dict[str, np.ndarray] = {}
+        self.normalized: dict[str, np.ndarray] = {}
+        self.count = 0
+        self.capacity = capacity
+
+    @classmethod
+    def from_signatures(
+        cls, entries: list[tuple[MacAddress, Signature]]
+    ) -> "_PackBuffers | None":
+        """Full build; ``None`` when the signatures are ragged."""
+        buffers = cls(capacity=max(8, len(entries)))
+        for device, signature in entries:
+            if not buffers.set_row(device, signature, previous=None):
+                return None
+        return buffers
+
+    def _grow(self) -> None:
+        new_capacity = max(8, self.capacity * 2)
+        for ftype_key, bins in self.bin_counts.items():
+            frequencies = np.zeros((new_capacity, bins), dtype=np.float64)
+            frequencies[: self.count] = self.frequencies[ftype_key][: self.count]
+            self.frequencies[ftype_key] = frequencies
+            normalized = np.zeros((new_capacity, bins), dtype=np.float64)
+            normalized[: self.count] = self.normalized[ftype_key][: self.count]
+            self.normalized[ftype_key] = normalized
+            weights = np.zeros(new_capacity, dtype=np.float64)
+            weights[: self.count] = self.weights[ftype_key][: self.count]
+            self.weights[ftype_key] = weights
+        self.capacity = new_capacity
+
+    def set_row(
+        self, device: MacAddress, signature: Signature, previous: Signature | None
+    ) -> bool:
+        """Write one device's row; ``False`` on a bin-count conflict.
+
+        ``previous`` is the signature being replaced (``None`` for a
+        new device) — needed to keep the frame-type membership counts
+        exact.  A conflict leaves the buffers unusable (partial write);
+        the caller must discard them and fall back to the full rebuild.
+        """
+        for ftype_key, histogram in signature.histograms.items():
+            bins = int(histogram.shape[-1])
+            if self.bin_counts.setdefault(ftype_key, bins) != bins:
+                return False
+            if ftype_key not in self.frequencies:
+                self.frequencies[ftype_key] = np.zeros(
+                    (self.capacity, bins), dtype=np.float64
+                )
+                self.normalized[ftype_key] = np.zeros(
+                    (self.capacity, bins), dtype=np.float64
+                )
+                self.weights[ftype_key] = np.zeros(self.capacity, dtype=np.float64)
+        row = self.row_of.get(device)
+        if row is None:
+            if self.count == self.capacity:
+                self._grow()
+            row = self.count
+            self.count += 1
+            self.devices.append(device)
+            self.row_of[device] = row
+        before = set(previous.histograms) if previous is not None else set()
+        now = set(signature.histograms)
+        for ftype_key in now - before:
+            self.members[ftype_key] = self.members.get(ftype_key, 0) + 1
+        for ftype_key in list(self.bin_counts):
+            histogram = signature.histogram(ftype_key)
+            if histogram is None:
+                # Replacement may drop a frame type: clear the old row.
+                self.frequencies[ftype_key][row] = 0.0
+                self.normalized[ftype_key][row] = 0.0
+                self.weights[ftype_key][row] = 0.0
+                if ftype_key in before:
+                    self._drop_member(ftype_key)
+                continue
+            self.frequencies[ftype_key][row] = histogram
+            self.normalized[ftype_key][row] = normalize_rows(
+                self.frequencies[ftype_key][row]
+            )
+            self.weights[ftype_key][row] = signature.weight(ftype_key)
+        return True
+
+    def remove_row(self, device: MacAddress, signature: Signature) -> None:
+        """Drop one device, shifting later rows up in place."""
+        row = self.row_of.pop(device)
+        keep = self.count - 1
+        for ftype_key in self.bin_counts:
+            self.frequencies[ftype_key][row:keep] = self.frequencies[ftype_key][
+                row + 1 : self.count
+            ]
+            self.frequencies[ftype_key][keep] = 0.0
+            self.normalized[ftype_key][row:keep] = self.normalized[ftype_key][
+                row + 1 : self.count
+            ]
+            self.normalized[ftype_key][keep] = 0.0
+            self.weights[ftype_key][row:keep] = self.weights[ftype_key][
+                row + 1 : self.count
+            ]
+            self.weights[ftype_key][keep] = 0.0
+        del self.devices[row]
+        for shifted in self.devices[row:]:
+            self.row_of[shifted] -= 1
+        self.count = keep
+        for ftype_key in signature.histograms:
+            self._drop_member(ftype_key)
+
+    def _drop_member(self, ftype_key: str) -> None:
+        """Decrement a frame type's membership, purging it at zero."""
+        remaining = self.members.get(ftype_key, 0) - 1
+        if remaining > 0:
+            self.members[ftype_key] = remaining
+            return
+        self.members.pop(ftype_key, None)
+        self.bin_counts.pop(ftype_key, None)
+        self.frequencies.pop(ftype_key, None)
+        self.normalized.pop(ftype_key, None)
+        self.weights.pop(ftype_key, None)
+
+    def snapshot(self) -> PackedDatabase:
+        """The current matrices as an (aliasing) :class:`PackedDatabase`."""
+        return PackedDatabase(
+            devices=tuple(self.devices),
+            frame_types=tuple(self.bin_counts),
+            frequencies={
+                f: matrix[: self.count] for f, matrix in self.frequencies.items()
+            },
+            weights={f: vector[: self.count] for f, vector in self.weights.items()},
+            normalized={
+                f: matrix[: self.count] for f, matrix in self.normalized.items()
+            },
+        )
+
+
 class ReferenceDatabase:
     """Signatures of the known (authorised) devices."""
 
     def __init__(self) -> None:
         self._signatures: dict[MacAddress, Signature] = {}
+        self._buffers: _PackBuffers | None = None
         self._packed: PackedDatabase | None = None
         self._packed_stale = True
 
@@ -111,14 +284,32 @@ class ReferenceDatabase:
         return database
 
     def add(self, device: MacAddress, signature: Signature) -> None:
-        """Register (or replace) one reference device's signature."""
+        """Register (or replace) one reference device's signature.
+
+        With a live packed view this writes one matrix row per frame
+        type (amortised O(bins)) instead of repacking the database.
+        """
+        previous = self._signatures.get(device)
         self._signatures[device] = signature
+        if self._buffers is not None and not self._buffers.set_row(
+            device, signature, previous
+        ):
+            self._buffers = None  # bin-count conflict: pack became ragged
         self._packed_stale = True
 
-    def remove(self, device: MacAddress) -> None:
-        """Forget a reference device."""
-        del self._signatures[device]
+    def remove(self, device: MacAddress) -> bool:
+        """Forget a reference device; ``False`` (no-op) if unknown.
+
+        Removal can resolve a bin-count conflict, in which case the
+        next :meth:`packed` call rebuilds the matrix view in full.
+        """
+        signature = self._signatures.pop(device, None)
+        if signature is None:
+            return False
+        if self._buffers is not None:
+            self._buffers.remove_row(device, signature)
         self._packed_stale = True
+        return True
 
     def get(self, device: MacAddress) -> Signature | None:
         """Signature of one device, if known."""
@@ -127,16 +318,23 @@ class ReferenceDatabase:
     def packed(self) -> PackedDatabase | None:
         """The cached matrix view (``None`` for empty/ragged databases).
 
-        Rebuilt lazily after membership changes.  Mutating a stored
-        :class:`Signature` *in place* is not tracked — re-:meth:`add`
-        it to refresh the pack.
+        Maintained incrementally across :meth:`add`/:meth:`remove`; the
+        returned snapshot shares storage with the live buffers and is
+        only guaranteed stable until the next membership change.
+        Mutating a stored :class:`Signature` *in place* is not tracked
+        — re-:meth:`add` it to refresh the pack.
         """
         if self._packed_stale:
-            self._packed = (
-                PackedDatabase.from_signatures(list(self._signatures.items()))
-                if self._signatures
-                else None
-            )
+            if not self._signatures:
+                self._packed = None
+            else:
+                if self._buffers is None:
+                    self._buffers = _PackBuffers.from_signatures(
+                        list(self._signatures.items())
+                    )
+                self._packed = (
+                    self._buffers.snapshot() if self._buffers is not None else None
+                )
             self._packed_stale = False
         return self._packed
 

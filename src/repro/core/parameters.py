@@ -23,7 +23,7 @@ evaluation (ablated in ``benchmarks/test_ablation_bin_width.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.dot11.capture import CapturedFrame
 from repro.dot11.mac import MacAddress
@@ -58,8 +58,100 @@ class NetworkParameter:
         """Yield attributed observations from a frame sequence."""
         raise NotImplementedError
 
+    def online(self) -> "ObservationStream":
+        """A stateful frame-by-frame extractor (streaming engine).
+
+        Feeding frames one at a time through :meth:`ObservationStream.push`
+        yields exactly the observation sequence :meth:`observations`
+        produces on the whole list.  The five built-in parameters
+        override this with O(1)-per-frame extractors; the base
+        implementation works for any causal parameter with at most one
+        frame of memory (see :class:`ObservationStream`).
+        """
+        return ObservationStream(self)
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ObservationStream:
+    """Incremental observation extraction: one frame per :meth:`push`.
+
+    The generic implementation exploits that every Section III
+    parameter is *causal with one frame of memory* — the observations a
+    frame contributes depend only on that frame and its predecessor
+    (the channel clock ``t_{i-1}``).  Each push therefore re-runs the
+    batch extractor over the ``(previous, current)`` pair and drops the
+    prefix the previous frame alone would have produced.  Parameters
+    with longer memory must override :meth:`NetworkParameter.online`.
+    """
+
+    __slots__ = ("_parameter", "_previous")
+
+    def __init__(self, parameter: NetworkParameter) -> None:
+        self._parameter = parameter
+        self._previous: CapturedFrame | None = None
+
+    def push(self, frame: CapturedFrame) -> tuple[Observation, ...]:
+        """Observations this frame contributes, in batch order."""
+        if self._previous is None:
+            produced = tuple(self._parameter.observations([frame]))
+        else:
+            prefix = sum(1 for _ in self._parameter.observations([self._previous]))
+            produced = tuple(
+                self._parameter.observations([self._previous, frame])
+            )[prefix:]
+        self._previous = frame
+        return produced
+
+
+class _PerFrameStream(ObservationStream):
+    """O(1) stream for values that are pure functions of one frame."""
+
+    __slots__ = ("_value",)
+
+    def __init__(
+        self, parameter: NetworkParameter, value: "Callable[[CapturedFrame], float]"
+    ) -> None:
+        super().__init__(parameter)
+        self._value = value
+
+    def push(self, frame: CapturedFrame) -> tuple[Observation, ...]:
+        sender = frame.sender
+        if sender is None:
+            return ()
+        return (Observation(sender, frame.ftype_key, self._value(frame)),)
+
+
+class _ChannelClockStream(ObservationStream):
+    """O(1) stream for the time-derived parameters.
+
+    Tracks the previous end-of-reception ``t_{i-1}`` across *all*
+    frames (unattributable ACK/CTS advance the clock without yielding
+    an observation, as in the batch extractors).
+    """
+
+    __slots__ = ("_value", "_previous_t")
+
+    def __init__(
+        self,
+        parameter: NetworkParameter,
+        value: "Callable[[CapturedFrame, float], float]",
+    ) -> None:
+        super().__init__(parameter)
+        self._value = value
+        self._previous_t: float | None = None
+
+    def push(self, frame: CapturedFrame) -> tuple[Observation, ...]:
+        previous_t = self._previous_t
+        self._previous_t = frame.timestamp_us
+        if previous_t is None or frame.sender is None:
+            return ()
+        return (
+            Observation(
+                frame.sender, frame.ftype_key, self._value(frame, previous_t)
+            ),
+        )
 
 
 class TransmissionRate(NetworkParameter):
@@ -78,6 +170,9 @@ class TransmissionRate(NetworkParameter):
                 continue
             yield Observation(sender, captured.ftype_key, captured.rate_mbps)
 
+    def online(self) -> ObservationStream:
+        return _PerFrameStream(self, lambda captured: captured.rate_mbps)
+
 
 class FrameSize(NetworkParameter):
     """``p_i = size_i`` — the full MAC-layer frame size in bytes."""
@@ -94,6 +189,9 @@ class FrameSize(NetworkParameter):
             if sender is None:
                 continue
             yield Observation(sender, captured.ftype_key, float(captured.size))
+
+    def online(self) -> ObservationStream:
+        return _PerFrameStream(self, lambda captured: float(captured.size))
 
 
 class TransmissionTime(NetworkParameter):
@@ -115,6 +213,14 @@ class TransmissionTime(NetworkParameter):
                 continue
             value = paper_transmission_time_us(captured.size, captured.rate_mbps)
             yield Observation(sender, captured.ftype_key, value)
+
+    def online(self) -> ObservationStream:
+        return _PerFrameStream(
+            self,
+            lambda captured: paper_transmission_time_us(
+                captured.size, captured.rate_mbps
+            ),
+        )
 
 
 class InterArrivalTime(NetworkParameter):
@@ -146,6 +252,11 @@ class InterArrivalTime(NetworkParameter):
                 )
             previous_t = t_i
 
+    def online(self) -> ObservationStream:
+        return _ChannelClockStream(
+            self, lambda captured, previous_t: captured.timestamp_us - previous_t
+        )
+
 
 class MediumAccessTime(NetworkParameter):
     """``mtime_i = (t_i − tt_i) − t_{i−1}`` — the sender's idle wait.
@@ -174,6 +285,13 @@ class MediumAccessTime(NetworkParameter):
                     captured.sender, captured.ftype_key, (t_i - tt_i) - previous_t
                 )
             previous_t = t_i
+
+    def online(self) -> ObservationStream:
+        def value(captured: CapturedFrame, previous_t: float) -> float:
+            tt_i = paper_transmission_time_us(captured.size, captured.rate_mbps)
+            return (captured.timestamp_us - tt_i) - previous_t
+
+        return _ChannelClockStream(self, value)
 
 
 #: The paper's five parameters, in its Section III order.

@@ -5,11 +5,13 @@ per-record headers) with microsecond timestamps and
 ``LINKTYPE_IEEE802_11_RADIOTAP`` (127) — the format monitor-mode
 captures such as the Sigcomm'08 CRAWDAD trace ship in.
 
-Two integration helpers bridge pcap files and the in-memory trace
+Three integration helpers bridge pcap files and the in-memory trace
 model: :func:`write_trace_pcap` persists a list of
-:class:`~repro.dot11.capture.CapturedFrame` and
-:func:`read_trace_pcap` re-materialises them, so every fingerprinting
-experiment can run off a standard on-disk capture.
+:class:`~repro.dot11.capture.CapturedFrame`, :func:`read_trace_pcap`
+re-materialises them, and :func:`iter_trace_pcap` streams them one at
+a time in O(1) memory (the streaming engine's on-disk source), so
+every fingerprinting experiment can run off a standard on-disk
+capture.
 """
 
 from __future__ import annotations
@@ -190,17 +192,19 @@ def write_trace_pcap(
     return count
 
 
-def read_trace_pcap(
+def iter_trace_pcap(
     source: str | Path | BinaryIO | bytes, skip_bad_fcs: bool = False
-) -> list[CapturedFrame]:
-    """Load a radiotap pcap back into captured frames.
+) -> Iterator[CapturedFrame]:
+    """Stream a radiotap pcap one frame at a time, in O(1) memory.
 
-    Timestamps prefer the radiotap TSFT (µs precision inside the
-    capture) and fall back to the pcap record timestamp.  Frames whose
-    FCS fails verification are kept unless ``skip_bad_fcs`` is set —
-    mirroring the choice a real monitoring deployment must make.
+    The streaming engine's pcap source: records are decoded lazily as
+    the iterator advances, so captures of unbounded length never
+    materialise as a list.  Timestamps prefer the radiotap TSFT (µs
+    precision inside the capture) and fall back to the pcap record
+    timestamp.  Frames whose FCS fails verification are kept unless
+    ``skip_bad_fcs`` is set — mirroring the choice a real monitoring
+    deployment must make.
     """
-    frames: list[CapturedFrame] = []
     with PcapReader(source) as reader:
         if reader.linktype != LINKTYPE_IEEE802_11_RADIOTAP:
             raise PcapError(
@@ -216,17 +220,21 @@ def read_trace_pcap(
                 if header.tsft_us is not None
                 else record.timestamp_us
             )
-            frames.append(
-                CapturedFrame(
-                    timestamp_us=timestamp_us,
-                    frame=decoded.frame,
-                    rate_mbps=header.rate_mbps if header.rate_mbps else 1.0,
-                    signal_dbm=float(
-                        header.antenna_signal_dbm
-                        if header.antenna_signal_dbm is not None
-                        else -50
-                    ),
-                    channel=header.channel or 6,
-                )
+            yield CapturedFrame(
+                timestamp_us=timestamp_us,
+                frame=decoded.frame,
+                rate_mbps=header.rate_mbps if header.rate_mbps else 1.0,
+                signal_dbm=float(
+                    header.antenna_signal_dbm
+                    if header.antenna_signal_dbm is not None
+                    else -50
+                ),
+                channel=header.channel or 6,
             )
-    return frames
+
+
+def read_trace_pcap(
+    source: str | Path | BinaryIO | bytes, skip_bad_fcs: bool = False
+) -> list[CapturedFrame]:
+    """Load a radiotap pcap fully into memory (batch pipeline)."""
+    return list(iter_trace_pcap(source, skip_bad_fcs=skip_bad_fcs))

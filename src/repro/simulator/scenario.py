@@ -13,6 +13,7 @@ from __future__ import annotations
 import copy
 import random
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.dot11.capture import CapturedFrame
 from repro.dot11.frames import Dot11Frame
@@ -137,6 +138,50 @@ class Scenario:
 
     def run(self) -> SimulationResult:
         """Build the simulation, run it, and return the capture."""
+        queue, medium, station_names = self._wire()
+        queue.run_until(self.duration_s * 1e6)
+        medium.verify_capture_order()
+        return SimulationResult(
+            captures=medium.captures,
+            station_names=station_names,
+            duration_s=self.duration_s,
+            exchange_count=medium.exchange_count,
+            collision_rounds=medium.collision_rounds,
+        )
+
+    def stream(self, chunk_s: float = 5.0) -> "Iterator[CapturedFrame]":
+        """Run the simulation incrementally, yielding frames live.
+
+        The event loop advances ``chunk_s`` of simulated time at a
+        time and the monitor's capture buffer is drained after every
+        step, so the generator feeds the streaming engine without ever
+        holding the full trace — the simulator acts as a live traffic
+        feed.  Frame order matches :meth:`run` exactly (same seed, same
+        event schedule).
+        """
+        if chunk_s <= 0:
+            raise ValueError(f"chunk size must be positive: {chunk_s}")
+        queue, medium, _station_names = self._wire()
+        duration_us = self.duration_s * 1e6
+        chunk_us = chunk_s * 1e6
+        previous_t = -1.0
+        now = 0.0
+        while now < duration_us:
+            now = min(now + chunk_us, duration_us)
+            queue.run_until(now)
+            if medium.captures:
+                chunk, medium.captures = medium.captures, []
+                for captured in chunk:
+                    if captured.timestamp_us < previous_t - 1e-6:
+                        raise AssertionError(
+                            f"capture order violated: "
+                            f"{captured.timestamp_us} < {previous_t}"
+                        )
+                    previous_t = captured.timestamp_us
+                    yield captured
+
+    def _wire(self) -> tuple[EventQueue, Medium, dict[MacAddress, str]]:
+        """Assemble the event queue, medium, stations and traffic."""
         master_rng = random.Random(self.seed)
         queue = EventQueue()
         medium = Medium(queue)
@@ -264,15 +309,7 @@ class Scenario:
                     peer_source = _PeerWrapper(downlink, station.mac)
                     schedule_source(home_ap, peer_source, arrival_us, departure_us)
 
-        queue.run_until(duration_us)
-        medium.verify_capture_order()
-        return SimulationResult(
-            captures=medium.captures,
-            station_names=station_names,
-            duration_s=self.duration_s,
-            exchange_count=medium.exchange_count,
-            collision_rounds=medium.collision_rounds,
-        )
+        return queue, medium, station_names
 
 
 class _PeerWrapper:

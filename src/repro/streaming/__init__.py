@@ -1,0 +1,69 @@
+"""Streaming fingerprint engine: online signatures, incremental
+matching, live alert pipeline.
+
+The batch pipeline (``repro.core``) takes complete frame lists; this
+package feeds the same vectorized core incrementally, so captures of
+unbounded length run in bounded memory at wire speed (DESIGN.md §4):
+
+* :class:`StreamingSignatureBuilder` — per-device incremental
+  histograms, O(1) per frame, optional exponential decay, provably
+  equivalent to the batch builder with decay off;
+* :class:`WindowManager` — tumbling/sliding detection windows with
+  observation-count gating and idle-device eviction;
+* :class:`OnlineMatcher` — Algorithm 1 over closed windows against a
+  live (incrementally re-packed) reference database;
+* :class:`StreamEngine` — pluggable frame sources in
+  (:mod:`~repro.streaming.sources`), typed events out
+  (:mod:`~repro.streaming.events`), with online adapters for all three
+  Section VII applications (:mod:`~repro.streaming.apps`).
+"""
+
+from repro.streaming.builder import StreamingSignatureBuilder
+from repro.streaming.engine import StreamEngine, StreamStats
+from repro.streaming.events import (
+    CollectingSink,
+    DeviceEvicted,
+    DeviceMatched,
+    JsonLinesSink,
+    PseudonymLinked,
+    RogueApAlert,
+    SpoofAlert,
+    StreamEvent,
+    WindowClosed,
+)
+from repro.streaming.apps import (
+    LiveTracker,
+    OnlineRogueApGuard,
+    OnlineSpoofGuard,
+    WindowAnalyzer,
+)
+from repro.streaming.matcher import OnlineMatcher, StreamCandidate
+from repro.streaming.sources import pcap_source, replay_source, simulation_source
+from repro.streaming.windows import ClosedWindow, WindowConfig, WindowManager
+
+__all__ = [
+    "ClosedWindow",
+    "CollectingSink",
+    "DeviceEvicted",
+    "DeviceMatched",
+    "JsonLinesSink",
+    "LiveTracker",
+    "OnlineMatcher",
+    "OnlineRogueApGuard",
+    "OnlineSpoofGuard",
+    "PseudonymLinked",
+    "RogueApAlert",
+    "SpoofAlert",
+    "StreamCandidate",
+    "StreamEngine",
+    "StreamEvent",
+    "StreamStats",
+    "StreamingSignatureBuilder",
+    "WindowAnalyzer",
+    "WindowClosed",
+    "WindowConfig",
+    "WindowManager",
+    "pcap_source",
+    "replay_source",
+    "simulation_source",
+]

@@ -1,0 +1,162 @@
+"""Online adapters for the Section VII applications.
+
+Each adapter turns one batch application into a window analyzer the
+:class:`~repro.streaming.engine.StreamEngine` drives: the engine calls
+:meth:`on_frame` for every frame (optional pre-window state) and
+:meth:`on_window` whenever a detection window closes, and the adapter
+answers with typed alert events.  The underlying detectors are the
+unmodified batch implementations — the adapters reuse their
+signature-level entry points (``check_signatures``,
+``check_signature``, ``link_signatures``), so batch and streaming
+verdicts are computed by the same code.
+"""
+
+from __future__ import annotations
+
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.mac import MacAddress
+from repro.applications.rogue_ap import RogueApDetector
+from repro.applications.spoof_detector import SpoofDetector, SpoofVerdict
+from repro.applications.tracker import DeviceTracker
+from repro.streaming.builder import StreamingSignatureBuilder
+from repro.streaming.events import (
+    PseudonymLinked,
+    RogueApAlert,
+    SpoofAlert,
+    StreamEvent,
+)
+from repro.streaming.windows import ClosedWindow
+
+
+class WindowAnalyzer:
+    """Base analyzer: override the hooks you need."""
+
+    def on_frame(self, frame: CapturedFrame) -> None:
+        """Called for every frame before windowing (optional)."""
+
+    def on_window(self, closed: ClosedWindow) -> list[StreamEvent]:
+        """Called when a detection window closes; returns alert events."""
+        return []
+
+
+class OnlineSpoofGuard(WindowAnalyzer):
+    """MAC-spoof detection per closed window (Section VII-B1, live).
+
+    Wraps a learnt :class:`~repro.applications.spoof_detector.SpoofDetector`;
+    every closed window's candidate signatures are checked against the
+    allow-list references and non-genuine verdicts become
+    :class:`~repro.streaming.events.SpoofAlert` events.  ``alert_on``
+    selects which verdicts are alert-worthy (the default flags spoofed
+    and unknown devices; INSUFFICIENT windows are routine on quiet
+    devices).
+    """
+
+    def __init__(
+        self,
+        detector: SpoofDetector,
+        alert_on: frozenset[SpoofVerdict] = frozenset(
+            {SpoofVerdict.SPOOFED, SpoofVerdict.UNKNOWN_DEVICE}
+        ),
+    ) -> None:
+        self.detector = detector
+        self.alert_on = alert_on
+
+    def on_window(self, closed: ClosedWindow) -> list[StreamEvent]:
+        checks = self.detector.check_signatures(closed.signatures, closed.senders)
+        return [
+            SpoofAlert(
+                timestamp_us=closed.end_us,
+                window_index=closed.index,
+                device=check.device,
+                verdict=check.verdict.value,
+                self_similarity=check.self_similarity,
+                best_other_similarity=check.best_other_similarity,
+            )
+            for check in checks
+            if check.verdict in self.alert_on
+        ]
+
+
+class OnlineRogueApGuard(WindowAnalyzer):
+    """Rogue-AP detection per closed window (Section VII-B2, live).
+
+    Maintains its own per-window accumulator over the AP's *own*
+    frames (forwarded payloads excluded, as the batch detector's
+    :func:`~repro.applications.rogue_ap.ap_own_frames` prescribes) and
+    emits a :class:`~repro.streaming.events.RogueApAlert` whenever a
+    window's fingerprint fails the reference check.  Assumes tumbling
+    windows — each frame belongs to exactly one AP accumulation span.
+    """
+
+    def __init__(self, detector: RogueApDetector, ap: MacAddress) -> None:
+        self.detector = detector
+        self.ap = ap
+        self._builder = self._new_builder()
+        self._own_frames = 0
+
+    def _new_builder(self) -> StreamingSignatureBuilder:
+        return StreamingSignatureBuilder(
+            self.detector.parameter,
+            bins=self.detector.builder.bins,
+            min_observations=self.detector.builder.min_observations,
+        )
+
+    def on_frame(self, frame: CapturedFrame) -> None:
+        if frame.sender != self.ap:
+            return
+        if frame.frame.is_data and frame.frame.from_ds:
+            return  # forwarded payload: not the AP's own behaviour
+        self._own_frames += 1
+        self._builder.update(frame)
+
+    def on_window(self, closed: ClosedWindow) -> list[StreamEvent]:
+        signature = self._builder.signature(self.ap)
+        observations = self._own_frames
+        self._builder = self._new_builder()  # next tumbling span
+        self._own_frames = 0
+        verdict = self.detector.check_signature(
+            signature, self.ap, observations=observations
+        )
+        if not verdict.is_rogue:
+            return []
+        return [
+            RogueApAlert(
+                timestamp_us=closed.end_us,
+                window_index=closed.index,
+                ap=self.ap,
+                similarity=verdict.similarity,
+                observations=verdict.observations,
+            )
+        ]
+
+
+class LiveTracker(WindowAnalyzer):
+    """Cross-window pseudonym linking (Section VII-B3, live).
+
+    The paper's tracker becomes a true live tracker: every closed
+    window's randomised-looking senders are linked against the learnt
+    signatures in one batch call and each link (or explicit non-link)
+    is emitted as a :class:`~repro.streaming.events.PseudonymLinked`
+    event.  The accumulated :class:`~repro.applications.tracker.TrackingReport`
+    stays queryable mid-stream via :attr:`report`.
+    """
+
+    def __init__(self, tracker: DeviceTracker) -> None:
+        from repro.applications.tracker import TrackingReport
+
+        self.tracker = tracker
+        self.report = TrackingReport()
+
+    def on_window(self, closed: ClosedWindow) -> list[StreamEvent]:
+        links = self.tracker.link_signatures(closed.signatures, closed.index)
+        self.report.links.extend(links)
+        return [
+            PseudonymLinked(
+                timestamp_us=closed.end_us,
+                window_index=link.window_index,
+                pseudonym=link.pseudonym,
+                linked_device=link.linked_device,
+                similarity=link.similarity,
+            )
+            for link in links
+        ]

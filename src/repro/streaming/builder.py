@@ -1,0 +1,244 @@
+"""Online signature construction: one frame at a time, O(1) per frame.
+
+:class:`StreamingSignatureBuilder` is the incremental counterpart of
+:class:`~repro.core.signature.SignatureBuilder`: it consumes frames
+through the parameter's :meth:`~repro.core.parameters.NetworkParameter.online`
+extractor and maintains per-device, per-frame-type bin counters.  With
+decay disabled the counters are *exactly* the batch builder's histogram
+counts, so :meth:`signature`/:meth:`signatures` reproduce
+:meth:`SignatureBuilder.build` bin-for-bin on the same frames
+(property-tested in ``tests/test_streaming_builder.py``).
+
+Optional exponential decay turns the counters into a recency-weighted
+profile for long-lived accumulators (live tracking, adaptive
+references): each observation's weight halves every
+``decay_half_life_s`` seconds.  Decay is implemented with the inflated
+weight trick — an observation at time ``t`` is recorded with weight
+``exp(λ(t − t0))`` against a per-device reference time ``t0``, so the
+whole histogram never needs rescaling on update (O(1) per frame); the
+common inflation factor cancels in frequencies and weights, and the
+counters are rebased once the factor grows past ``1e9`` to keep the
+floats healthy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.mac import MacAddress
+from repro.core.histogram import BinSpec
+from repro.core.parameters import NetworkParameter
+from repro.core.signature import DEFAULT_MIN_OBSERVATIONS, Signature
+
+#: Rebase a device's counters once its inflation factor exceeds this.
+_REBASE_AT = 1e9
+
+
+class _DeviceState:
+    """One device's live accumulators."""
+
+    __slots__ = ("counts", "totals", "t0_us", "last_seen_us")
+
+    def __init__(self, now_us: float) -> None:
+        #: ftype → per-bin weighted counts (plain lists: scalar
+        #: increments are several times faster than ndarray item set).
+        self.counts: dict[str, list[float]] = {}
+        #: ftype → total weighted count (inflated units, like counts).
+        self.totals: dict[str, float] = {}
+        #: Decay reference time: weights are relative to this instant.
+        self.t0_us = now_us
+        self.last_seen_us = now_us
+
+
+class StreamingSignatureBuilder:
+    """Per-device incremental histograms with optional exponential decay.
+
+    One builder is bound to a network parameter and a bin spec, like
+    the batch :class:`~repro.core.signature.SignatureBuilder`; frames
+    are fed through :meth:`update` and signatures can be read out at
+    any instant.  Memory is O(resident devices × frame types × bins),
+    independent of stream length; :meth:`evict` and :meth:`evict_idle`
+    bound the resident set.
+    """
+
+    def __init__(
+        self,
+        parameter: NetworkParameter,
+        bins: BinSpec | None = None,
+        min_observations: int = DEFAULT_MIN_OBSERVATIONS,
+        decay_half_life_s: float | None = None,
+    ) -> None:
+        if min_observations < 1:
+            raise ValueError(f"min_observations must be >= 1: {min_observations}")
+        if decay_half_life_s is not None and decay_half_life_s <= 0:
+            raise ValueError(
+                f"decay half-life must be positive: {decay_half_life_s}"
+            )
+        self.parameter = parameter
+        self.bins = bins if bins is not None else parameter.default_bins()
+        self.min_observations = min_observations
+        self.decay_half_life_s = decay_half_life_s
+        #: Decay rate λ in 1/µs (0 = decay off).
+        self._decay_rate = (
+            math.log(2.0) / (decay_half_life_s * 1e6) if decay_half_life_s else 0.0
+        )
+        self._stream = parameter.online()
+        self._devices: dict[MacAddress, _DeviceState] = {}
+        self._bin_count = self.bins.bin_count
+        self.frames_seen = 0
+        self.observations_kept = 0
+
+    # -- ingest --------------------------------------------------------
+    def update(self, frame: CapturedFrame) -> int:
+        """Consume one frame; returns how many observations were kept."""
+        self.frames_seen += 1
+        observations = self._stream.push(frame)
+        if not observations:
+            return 0
+        kept = 0
+        for observation in observations:
+            index = self.bins.index(observation.value)
+            if index is None:
+                continue
+            now_us = frame.timestamp_us
+            state = self._devices.get(observation.sender)
+            if state is None:
+                state = _DeviceState(now_us)
+                self._devices[observation.sender] = state
+            if self._decay_rate:
+                weight = math.exp(self._decay_rate * (now_us - state.t0_us))
+                if weight > _REBASE_AT:
+                    self._rebase(state, now_us)
+                    weight = 1.0
+            else:
+                weight = 1.0
+            counts = state.counts.get(observation.ftype_key)
+            if counts is None:
+                counts = [0.0] * self._bin_count
+                state.counts[observation.ftype_key] = counts
+                state.totals[observation.ftype_key] = 0.0
+            counts[index] += weight
+            state.totals[observation.ftype_key] += weight
+            state.last_seen_us = now_us
+            kept += 1
+        self.observations_kept += kept
+        return kept
+
+    def _rebase(self, state: _DeviceState, now_us: float) -> None:
+        """Re-anchor a device's inflated counters at ``now_us``."""
+        deflate = math.exp(-self._decay_rate * (now_us - state.t0_us))
+        for counts in state.counts.values():
+            for index, value in enumerate(counts):
+                counts[index] = value * deflate
+        for ftype_key in state.totals:
+            state.totals[ftype_key] *= deflate
+        state.t0_us = now_us
+
+    # -- read-out ------------------------------------------------------
+    def observation_mass(
+        self, device: MacAddress, now_us: float | None = None
+    ) -> float:
+        """The device's decayed total observation mass (0 if absent).
+
+        ``now_us`` anchors the decay evaluation (defaults to the
+        device's last update, like :meth:`signature`).  With decay off
+        this is exactly the batch builder's total observation count.
+        """
+        state = self._devices.get(device)
+        if state is None:
+            return 0.0
+        total = sum(state.totals.values())
+        if self._decay_rate:
+            anchor = state.last_seen_us if now_us is None else now_us
+            total *= math.exp(-self._decay_rate * (anchor - state.t0_us))
+        return total
+
+    def signature(
+        self, device: MacAddress, now_us: float | None = None
+    ) -> Signature | None:
+        """The device's current signature (``None`` below the gate).
+
+        ``now_us`` anchors the decay evaluation (defaults to the
+        device's last update); frequencies and weights are invariant to
+        it, only the absolute mass used for gating and the reported
+        observation counts decay.
+        """
+        state = self._devices.get(device)
+        if state is None:
+            return None
+        deflate = 1.0
+        if self._decay_rate:
+            anchor = state.last_seen_us if now_us is None else now_us
+            deflate = math.exp(-self._decay_rate * (anchor - state.t0_us))
+        total = sum(state.totals.values())
+        if total * deflate < self.min_observations:
+            return None
+        histograms: dict[str, np.ndarray] = {}
+        weights: dict[str, float] = {}
+        observation_counts: dict[str, int] = {}
+        for ftype_key, counts in state.counts.items():
+            ftype_total = state.totals[ftype_key]
+            if ftype_total <= 0.0:
+                continue
+            histograms[ftype_key] = np.asarray(counts, dtype=np.float64) / ftype_total
+            weights[ftype_key] = ftype_total / total
+            observation_counts[ftype_key] = int(round(ftype_total * deflate))
+        if not histograms:
+            return None
+        return Signature(
+            histograms=histograms,
+            weights=weights,
+            observation_counts=observation_counts,
+        )
+
+    def signatures(
+        self, now_us: float | None = None
+    ) -> dict[MacAddress, Signature]:
+        """Signatures of every resident device clearing the gate."""
+        out: dict[MacAddress, Signature] = {}
+        for device in self._devices:
+            signature = self.signature(device, now_us)
+            if signature is not None:
+                out[device] = signature
+        return out
+
+    # -- residency -----------------------------------------------------
+    @property
+    def resident_count(self) -> int:
+        """Number of devices currently holding accumulators."""
+        return len(self._devices)
+
+    def devices(self) -> Iterator[MacAddress]:
+        """Resident devices, in first-observation order."""
+        return iter(self._devices)
+
+    def last_seen_us(self, device: MacAddress) -> float | None:
+        """When the device last contributed a kept observation."""
+        state = self._devices.get(device)
+        return None if state is None else state.last_seen_us
+
+    def evict(self, device: MacAddress) -> bool:
+        """Drop one device's accumulators; ``False`` if absent."""
+        return self._devices.pop(device, None) is not None
+
+    def evict_idle(self, now_us: float, idle_timeout_s: float) -> list[MacAddress]:
+        """Drop devices with no kept observation for ``idle_timeout_s``.
+
+        Returns the evicted devices.  This bounds the resident set on
+        open-ended streams at the cost of forgetting devices that
+        return after a long silence — exactness is traded for memory,
+        so it is opt-in (see ``WindowConfig.idle_timeout_s``).
+        """
+        horizon = now_us - idle_timeout_s * 1e6
+        victims = [
+            device
+            for device, state in self._devices.items()
+            if state.last_seen_us < horizon
+        ]
+        for device in victims:
+            del self._devices[device]
+        return victims

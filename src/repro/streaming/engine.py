@@ -1,0 +1,185 @@
+"""The streaming fingerprint engine: frames in, typed events out.
+
+:class:`StreamEngine` composes the online subsystem end to end:
+
+1. a pluggable frame source (:mod:`repro.streaming.sources`) is pulled
+   one frame at a time — the engine never holds the trace;
+2. every frame feeds the :class:`~repro.streaming.windows.WindowManager`
+   (and any frame-level analyzer state, e.g. the rogue-AP guard's
+   own-traffic accumulator);
+3. when a detection window closes, its candidates are matched against
+   the live reference database in one batch call
+   (:class:`~repro.streaming.matcher.OnlineMatcher`) and the window
+   analyzers produce application alerts;
+4. everything observable leaves as a typed
+   :class:`~repro.streaming.events.StreamEvent` delivered to the
+   registered sinks.
+
+With decay off and tumbling windows the emitted matches are identical
+to the batch pipeline (:func:`~repro.core.detection.extract_window_candidates`)
+on the same frames — the equivalence the streaming tests pin down —
+while memory stays bounded by the live working set (open windows ×
+resident devices), which :class:`StreamStats` tracks as
+``peak_resident_devices``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.dot11.capture import CapturedFrame
+from repro.core.database import ReferenceDatabase
+from repro.core.similarity import SimilarityMeasure, cosine_similarity
+from repro.streaming.apps import WindowAnalyzer
+from repro.streaming.events import (
+    DeviceEvicted,
+    DeviceMatched,
+    EventSink,
+    StreamEvent,
+    WindowClosed,
+)
+from repro.streaming.matcher import OnlineMatcher, StreamCandidate
+from repro.streaming.windows import ClosedWindow, WindowConfig, WindowManager
+
+
+@dataclass(slots=True)
+class StreamStats:
+    """Running counters the engine keeps while consuming a stream."""
+
+    frames: int = 0
+    windows_closed: int = 0
+    candidates: int = 0
+    events: int = 0
+    #: Peak simultaneous per-device accumulators across open windows —
+    #: the engine's working-set high-water mark.
+    peak_resident_devices: int = 0
+    events_by_type: dict[str, int] = field(default_factory=dict)
+    first_timestamp_us: float | None = None
+    last_timestamp_us: float | None = None
+
+    @property
+    def duration_s(self) -> float:
+        """Capture-clock span of the consumed stream."""
+        if self.first_timestamp_us is None or self.last_timestamp_us is None:
+            return 0.0
+        return (self.last_timestamp_us - self.first_timestamp_us) / 1e6
+
+
+class StreamEngine:
+    """Event-driven online fingerprinting over a frame stream."""
+
+    def __init__(
+        self,
+        builder_factory,
+        database: ReferenceDatabase | None = None,
+        window: WindowConfig | None = None,
+        measure: SimilarityMeasure = cosine_similarity,
+        analyzers: Iterable[WindowAnalyzer] = (),
+        sinks: Iterable[EventSink] = (),
+    ) -> None:
+        """``builder_factory`` makes one decay-free
+        :class:`StreamingSignatureBuilder` per detection window (a
+        zero-argument callable, e.g. ``lambda: StreamingSignatureBuilder(
+        parameter, min_observations=50)``)."""
+        self._windows = WindowManager(builder_factory, window)
+        self._matcher = OnlineMatcher(database, measure) if database is not None else None
+        self._analyzers: list[WindowAnalyzer] = list(analyzers)
+        self._sinks: list[EventSink] = list(sinks)
+        self.stats = StreamStats()
+
+    # -- wiring --------------------------------------------------------
+    def subscribe(self, sink: EventSink) -> None:
+        """Register one event sink."""
+        self._sinks.append(sink)
+
+    def add_analyzer(self, analyzer: WindowAnalyzer) -> None:
+        """Register one window analyzer (application adapter)."""
+        self._analyzers.append(analyzer)
+
+    @property
+    def matcher(self) -> OnlineMatcher | None:
+        """The live matcher (``None`` when running without a database)."""
+        return self._matcher
+
+    # -- ingest --------------------------------------------------------
+    def process_frame(self, frame: CapturedFrame) -> None:
+        """Consume one frame, emitting any events it triggers."""
+        stats = self.stats
+        stats.frames += 1
+        if stats.first_timestamp_us is None:
+            stats.first_timestamp_us = frame.timestamp_us
+        stats.last_timestamp_us = frame.timestamp_us
+        # Close expired windows BEFORE analyzers see the frame: a frame
+        # at or past a window's end belongs to the next span, and the
+        # analyzers' on_window reset must run first (batch equivalence).
+        closed = self._windows.update(frame)
+        if closed:
+            for window in closed:
+                self._handle_closed(window)
+        for analyzer in self._analyzers:
+            analyzer.on_frame(frame)
+        resident = self._windows.resident_devices()
+        if resident > stats.peak_resident_devices:
+            stats.peak_resident_devices = resident
+
+    def run(self, frames: Iterable[CapturedFrame]) -> StreamStats:
+        """Consume a whole frame source, flush, and return the stats."""
+        process = self.process_frame
+        for frame in frames:
+            process(frame)
+        self.flush()
+        return self.stats
+
+    def flush(self) -> None:
+        """Close all still-open windows (end of stream)."""
+        for window in self._windows.flush():
+            self._handle_closed(window)
+
+    # -- window completion ---------------------------------------------
+    def _handle_closed(self, closed: ClosedWindow) -> None:
+        self.stats.windows_closed += 1
+        self.stats.candidates += len(closed.signatures)
+        matches: list[StreamCandidate] = (
+            self._matcher.match_window(closed) if self._matcher is not None else []
+        )
+        self._emit(
+            WindowClosed(
+                timestamp_us=closed.end_us,
+                window_index=closed.index,
+                start_us=closed.start_us,
+                end_us=closed.end_us,
+                frame_count=closed.frame_count,
+                candidate_count=len(closed.signatures),
+                resident_devices=self._windows.resident_devices(),
+            )
+        )
+        for device in closed.evicted:
+            self._emit(
+                DeviceEvicted(
+                    timestamp_us=closed.end_us,
+                    window_index=closed.index,
+                    device=device,
+                )
+            )
+        for candidate in matches:
+            best_device, best_sim = candidate.best
+            self._emit(
+                DeviceMatched(
+                    timestamp_us=closed.end_us,
+                    window_index=candidate.window_index,
+                    device=candidate.device,
+                    best_device=best_device,
+                    similarity=best_sim,
+                )
+            )
+        for analyzer in self._analyzers:
+            for event in analyzer.on_window(closed):
+                self._emit(event)
+
+    def _emit(self, event: StreamEvent) -> None:
+        self.stats.events += 1
+        name = type(event).__name__
+        self.stats.events_by_type[name] = self.stats.events_by_type.get(name, 0) + 1
+        for sink in self._sinks:
+            sink(event)

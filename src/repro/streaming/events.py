@@ -1,0 +1,141 @@
+"""Typed events emitted by the streaming engine, and event sinks.
+
+The engine is event-driven end to end: frame sources push
+:class:`~repro.dot11.capture.CapturedFrame` objects in, and every
+observable outcome — a detection window closing, a candidate matched
+against the reference database, an application alert — leaves the
+engine as a :class:`StreamEvent` delivered to registered sinks.
+
+A sink is any callable taking one event; :class:`CollectingSink` and
+:class:`JsonLinesSink` cover the common cases (tests/offline analysis
+and machine-readable alert feeds respectively).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import IO, Callable, Iterator, Type, TypeVar
+
+from repro.dot11.mac import MacAddress
+
+#: Anything that consumes stream events.
+EventSink = Callable[["StreamEvent"], None]
+
+E = TypeVar("E", bound="StreamEvent")
+
+
+@dataclass(frozen=True, slots=True)
+class StreamEvent:
+    """Base event: everything carries the emission time (µs, capture clock)."""
+
+    timestamp_us: float
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (MAC addresses become strings)."""
+        payload: dict = {"event": type(self).__name__}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, MacAddress):
+                value = str(value)
+            payload[field.name] = value
+        return payload
+
+
+@dataclass(frozen=True, slots=True)
+class WindowClosed(StreamEvent):
+    """One detection window completed.
+
+    ``candidate_count`` counts devices that cleared the
+    minimum-observation gate; ``resident_devices`` is the number of
+    per-device accumulators held when the window closed (the streaming
+    engine's working-set size).
+    """
+
+    window_index: int
+    start_us: float
+    end_us: float
+    frame_count: int
+    candidate_count: int
+    resident_devices: int
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceMatched(StreamEvent):
+    """Algorithm 1 verdict for one window candidate."""
+
+    window_index: int
+    device: MacAddress
+    best_device: MacAddress | None
+    similarity: float
+
+
+@dataclass(frozen=True, slots=True)
+class SpoofAlert(StreamEvent):
+    """Spoof-detector verdict worth surfacing (spoofed/unknown)."""
+
+    window_index: int
+    device: MacAddress
+    verdict: str
+    self_similarity: float
+    best_other_similarity: float
+
+
+@dataclass(frozen=True, slots=True)
+class RogueApAlert(StreamEvent):
+    """The monitored AP's fingerprint stopped matching its reference."""
+
+    window_index: int
+    ap: MacAddress
+    similarity: float
+    observations: int
+
+
+@dataclass(frozen=True, slots=True)
+class PseudonymLinked(StreamEvent):
+    """A randomised MAC linked (or explicitly not) to a known device."""
+
+    window_index: int
+    pseudonym: MacAddress
+    linked_device: MacAddress | None
+    similarity: float
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceEvicted(StreamEvent):
+    """An idle device's accumulator was dropped to bound memory."""
+
+    window_index: int
+    device: MacAddress
+
+
+class CollectingSink:
+    """Stores every event in order; convenience filter by type."""
+
+    def __init__(self) -> None:
+        self.events: list[StreamEvent] = []
+
+    def __call__(self, event: StreamEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: Type[E]) -> list[E]:
+        """All collected events of one type, in emission order."""
+        return [event for event in self.events if isinstance(event, event_type)]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        return iter(self.events)
+
+
+class JsonLinesSink:
+    """Writes one JSON object per event to a text stream."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self._stream = stream
+
+    def __call__(self, event: StreamEvent) -> None:
+        self._stream.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._stream.write("\n")

@@ -1,0 +1,85 @@
+"""Incremental matching of window candidates against a live database.
+
+:class:`OnlineMatcher` rides the packed matrix engine
+(:func:`~repro.core.matcher.batch_match_signatures`): each closed
+window is matched in one matrix product per frame type, and because
+:class:`~repro.core.database.ReferenceDatabase` now maintains its
+packed view incrementally (O(bins) per :meth:`learn`/:meth:`forget`
+instead of a full repack), interleaving reference updates with live
+matching stays cheap — the deployment loop the paper's applications
+imply (learn newly authorised devices, retire old ones, keep
+fingerprinting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dot11.mac import MacAddress
+from repro.core.database import ReferenceDatabase
+from repro.core.matcher import batch_match_signatures
+from repro.core.signature import Signature
+from repro.core.similarity import SimilarityMeasure, cosine_similarity
+from repro.streaming.windows import ClosedWindow
+
+
+@dataclass(slots=True)
+class StreamCandidate:
+    """One matched window candidate (streaming analogue of
+    :class:`~repro.core.detection.WindowCandidate`)."""
+
+    device: MacAddress
+    window_index: int
+    signature: Signature
+    similarities: dict[MacAddress, float]
+
+    @property
+    def best(self) -> tuple[MacAddress | None, float]:
+        """Argmax reference and its similarity ((None, 0.0) if empty)."""
+        winner: MacAddress | None = None
+        best_score = 0.0
+        for device, score in self.similarities.items():
+            if winner is None or score > best_score:
+                winner, best_score = device, score
+        return winner, best_score
+
+
+class OnlineMatcher:
+    """Algorithm 1 over closed windows, with live reference updates."""
+
+    def __init__(
+        self,
+        database: ReferenceDatabase | None = None,
+        measure: SimilarityMeasure = cosine_similarity,
+    ) -> None:
+        self.database = database if database is not None else ReferenceDatabase()
+        self.measure = measure
+
+    def learn(self, device: MacAddress, signature: Signature) -> None:
+        """Register (or refresh) one reference device — O(bins)."""
+        self.database.add(device, signature)
+
+    def forget(self, device: MacAddress) -> bool:
+        """Retire one reference device; no-op ``False`` if unknown."""
+        return self.database.remove(device)
+
+    def match_window(self, closed: ClosedWindow) -> list[StreamCandidate]:
+        """Match every candidate of one closed window in a single batch."""
+        if not closed.signatures or len(self.database) == 0:
+            return []
+        devices = list(closed.signatures)
+        scores = batch_match_signatures(
+            [closed.signatures[device] for device in devices],
+            self.database,
+            self.measure,
+        )
+        references = self.database.devices
+        return [
+            StreamCandidate(
+                device=device,
+                window_index=closed.index,
+                signature=closed.signatures[device],
+                similarities=dict(zip(references, row.tolist())),
+            )
+            for device, row in zip(devices, scores)
+        ]

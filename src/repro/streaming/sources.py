@@ -1,0 +1,46 @@
+"""Pluggable frame sources for the streaming engine.
+
+A frame source is simply an iterable of
+:class:`~repro.dot11.capture.CapturedFrame` in non-decreasing
+timestamp order; the engine pulls from it one frame at a time, so a
+source backed by a file or a live feed keeps the whole pipeline in
+bounded memory.  Built-ins:
+
+* :func:`pcap_source` — chunked iteration over an on-disk radiotap
+  pcap (:func:`repro.radiotap.pcap.iter_trace_pcap`), never
+  materialising the capture;
+* :func:`simulation_source` — the discrete-event simulator as a live
+  feed (:meth:`repro.simulator.scenario.Scenario.stream`), draining
+  the monitor's buffer as simulated time advances;
+* :func:`replay_source` — an in-memory frame list (tests, the batch
+  pipeline's traces).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.dot11.capture import CapturedFrame
+
+#: A frame source: any time-ordered iterable of captured frames.
+FrameSource = Iterable[CapturedFrame]
+
+
+def pcap_source(
+    source: str | Path | BinaryIO | bytes, skip_bad_fcs: bool = False
+) -> Iterator[CapturedFrame]:
+    """Stream frames from a radiotap pcap in O(1) memory."""
+    from repro.radiotap.pcap import iter_trace_pcap
+
+    return iter_trace_pcap(source, skip_bad_fcs=skip_bad_fcs)
+
+
+def simulation_source(scenario, chunk_s: float = 5.0) -> Iterator[CapturedFrame]:
+    """Run a :class:`~repro.simulator.scenario.Scenario` as a live feed."""
+    return scenario.stream(chunk_s=chunk_s)
+
+
+def replay_source(frames: Iterable[CapturedFrame]) -> Iterator[CapturedFrame]:
+    """Replay an in-memory frame sequence (testing convenience)."""
+    return iter(frames)

@@ -1,0 +1,206 @@
+"""Detection windows over an unbounded frame stream.
+
+:class:`WindowManager` reproduces the evaluation protocol's windowing
+(:meth:`repro.traces.trace.Trace.windows`) online: windows are aligned
+to the first frame's timestamp and advance by a fixed slide.  With
+``slide_s == window_s`` (the default) the windows tumble exactly like
+the batch pipeline's; a smaller slide yields overlapping sliding
+windows (each frame feeds every window containing it, at most
+``ceil(window_s / slide_s)`` concurrently resident).
+
+Each open window owns one decay-free
+:class:`~repro.streaming.builder.StreamingSignatureBuilder`, so closing
+a window yields one candidate signature per device that cleared the
+minimum-observation gate — identical to running the batch builder on
+the window's frame list — after which the window's state is dropped.
+Memory is therefore bounded by the device population of the open
+windows, never by the stream length.  Optional idle eviction
+additionally drops per-device accumulators that stay silent inside a
+long window (see :meth:`StreamingSignatureBuilder.evict_idle`).
+
+Window indices count *slide positions* from the stream origin, so they
+stay aligned with the batch pipeline's enumeration even when wholly
+empty stretches of the stream never open a window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.mac import MacAddress
+from repro.core.signature import Signature
+from repro.streaming.builder import StreamingSignatureBuilder
+
+#: Idle-eviction sweeps run at most once per this many frames.
+_EVICTION_SWEEP_FRAMES = 512
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Streaming window parameters.
+
+    ``slide_s=None`` means tumbling windows (slide == window).
+    ``idle_timeout_s`` enables in-window idle-device eviction; leave
+    ``None`` (the default) for exact batch equivalence.
+    """
+
+    window_s: float = 300.0
+    slide_s: float | None = None
+    idle_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError(f"window size must be positive: {self.window_s}")
+        slide = self.slide_s
+        if slide is not None and not 0 < slide <= self.window_s:
+            raise ValueError(
+                f"slide must be in (0, window_s]: {slide} vs {self.window_s}"
+            )
+        if self.idle_timeout_s is not None and self.idle_timeout_s <= 0:
+            raise ValueError(
+                f"idle timeout must be positive: {self.idle_timeout_s}"
+            )
+
+    @property
+    def effective_slide_s(self) -> float:
+        """The slide step (tumbling = the window length itself)."""
+        return self.window_s if self.slide_s is None else self.slide_s
+
+
+@dataclass(slots=True)
+class ClosedWindow:
+    """Everything a completed detection window produced."""
+
+    index: int
+    start_us: float
+    end_us: float
+    frame_count: int
+    #: Devices that cleared the minimum-observation gate.
+    signatures: dict[MacAddress, Signature]
+    #: Every attributable sender seen in the window (superset of
+    #: ``signatures`` — low-activity devices appear here only).
+    senders: set[MacAddress]
+    #: Devices dropped mid-window by idle eviction.
+    evicted: list[MacAddress] = field(default_factory=list)
+
+
+class _OpenWindow:
+    __slots__ = ("index", "start_us", "end_us", "builder", "frame_count", "senders", "evicted")
+
+    def __init__(self, index: int, start_us: float, end_us: float, builder) -> None:
+        self.index = index
+        self.start_us = start_us
+        self.end_us = end_us
+        self.builder = builder
+        self.frame_count = 0
+        self.senders: set[MacAddress] = set()
+        self.evicted: list[MacAddress] = []
+
+
+class WindowManager:
+    """Routes a frame stream into (possibly overlapping) windows."""
+
+    def __init__(
+        self,
+        builder_factory: Callable[[], StreamingSignatureBuilder],
+        config: WindowConfig | None = None,
+    ) -> None:
+        self.config = config if config is not None else WindowConfig()
+        self._builder_factory = builder_factory
+        self._windows: list[_OpenWindow] = []
+        self._origin_us: float | None = None
+        self._next_index = 0
+        self._frames_since_sweep = 0
+
+    # ------------------------------------------------------------------
+    def update(self, frame: CapturedFrame) -> list[ClosedWindow]:
+        """Feed one frame; returns the windows it caused to close.
+
+        Frames must arrive in non-decreasing timestamp order (the
+        capture invariant).  Windows whose end lies at or before the
+        frame's timestamp close *before* the frame is routed, in index
+        order.
+        """
+        t = frame.timestamp_us
+        if self._origin_us is None:
+            self._origin_us = t
+        closed = self._close_until(t)
+        self._open_windows_containing(t)
+        sender = frame.sender
+        for window in self._windows:
+            window.frame_count += 1
+            window.builder.update(frame)
+            if sender is not None:
+                window.senders.add(sender)
+        if self.config.idle_timeout_s is not None:
+            self._frames_since_sweep += 1
+            if self._frames_since_sweep >= _EVICTION_SWEEP_FRAMES:
+                self._frames_since_sweep = 0
+                for window in self._windows:
+                    window.evicted.extend(
+                        window.builder.evict_idle(t, self.config.idle_timeout_s)
+                    )
+        return closed
+
+    def flush(self) -> list[ClosedWindow]:
+        """Close every still-open window (end of stream)."""
+        closed = [self._close(window) for window in self._windows]
+        self._windows = []
+        return closed
+
+    # ------------------------------------------------------------------
+    def _close_until(self, t_us: float) -> list[ClosedWindow]:
+        closed: list[ClosedWindow] = []
+        while self._windows and self._windows[0].end_us <= t_us:
+            closed.append(self._close(self._windows.pop(0)))
+        return closed
+
+    def _close(self, window: _OpenWindow) -> ClosedWindow:
+        return ClosedWindow(
+            index=window.index,
+            start_us=window.start_us,
+            end_us=window.end_us,
+            frame_count=window.frame_count,
+            signatures=window.builder.signatures(),
+            senders=window.senders,
+            evicted=window.evicted,
+        )
+
+    def _open_windows_containing(self, t_us: float) -> None:
+        assert self._origin_us is not None
+        slide_us = self.config.effective_slide_s * 1e6
+        window_us = self.config.window_s * 1e6
+        # First slide position whose window [start, start + W) covers t.
+        earliest = int((t_us - self._origin_us - window_us) // slide_us) + 1
+        if earliest > self._next_index:
+            self._next_index = earliest  # skip windows that never saw a frame
+        while True:
+            start_us = self._origin_us + self._next_index * slide_us
+            if start_us > t_us:
+                break
+            self._windows.append(
+                _OpenWindow(
+                    index=self._next_index,
+                    start_us=start_us,
+                    end_us=start_us + window_us,
+                    builder=self._builder_factory(),
+                )
+            )
+            self._next_index += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def open_windows(self) -> int:
+        """How many windows are currently resident."""
+        return len(self._windows)
+
+    def resident_devices(self) -> int:
+        """Total per-device accumulators across open windows."""
+        return sum(window.builder.resident_count for window in self._windows)
+
+    def window_spans(self) -> Iterator[tuple[int, float, float]]:
+        """(index, start_us, end_us) of the open windows."""
+        for window in self._windows:
+            yield window.index, window.start_us, window.end_us

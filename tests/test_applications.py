@@ -215,6 +215,42 @@ class TestTracker:
         tracker.learn(result.captures)
         assert tracker.track_window(result.captures) == []
 
+    def test_batch_port_equals_scalar_linking(self, spoof_scenario):
+        """track_window's single batch call must reproduce the former
+        per-pseudonym match_signature loop exactly."""
+        import random
+
+        from repro.core.matcher import match_signature
+
+        result, macs = spoof_scenario
+        boundary = 60e6
+        train = [c for c in result.captures if c.timestamp_us < boundary]
+        later = [c for c in result.captures if c.timestamp_us >= boundary]
+        rng = random.Random(11)
+        observed = later
+        truth = {}
+        for name in ("legit-1", "legit-2", "attacker"):
+            pseudonym = macs[name].randomized(rng)
+            observed = spoof_mac(observed, macs[name], pseudonym)
+            truth[pseudonym] = macs[name]
+        tracker = DeviceTracker(min_observations=30, link_threshold=0.4)
+        tracker.learn(train)
+        links = tracker.track_window(observed, window_index=3)
+        assert len(links) == len(truth)
+        # Reference implementation: the scalar per-pseudonym loop.
+        for link in links:
+            signature = tracker.builder.build(observed)[link.pseudonym]
+            similarities = match_signature(signature, tracker.database)
+            best_device, best_sim = None, 0.0
+            for device, sim in similarities.items():
+                if sim > best_sim:
+                    best_device, best_sim = device, sim
+            if best_sim < tracker.link_threshold:
+                best_device = None
+            assert link.linked_device == best_device
+            assert link.similarity == pytest.approx(best_sim, abs=1e-9)
+            assert link.window_index == 3
+
 
 class TestAttackModels:
     def test_spoof_mac_rewrites_only_attacker(self, spoof_scenario):

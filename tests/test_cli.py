@@ -132,3 +132,39 @@ class TestCommands:
         assert code == 0
         assert out_path.exists()
         assert "wrote" in capsys.readouterr().out
+
+    def test_stream(self, tmp_path, office_pcap, capsys):
+        db_path = tmp_path / "refs.json"
+        assert main(["learn", str(office_pcap), "--db", str(db_path)]) == 0
+        capsys.readouterr()
+        events_path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "stream",
+                str(office_pcap),
+                "--db",
+                str(db_path),
+                "--window-s",
+                "30",
+                "--spoof-guard",
+                "--track",
+                "--events",
+                str(events_path),
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streamed" in out and "windows" in out
+        assert "events:" in out
+        import json
+
+        lines = [json.loads(line) for line in events_path.read_text().splitlines()]
+        assert any(payload["event"] == "WindowClosed" for payload in lines)
+        assert any(payload["event"] == "DeviceMatched" for payload in lines)
+
+    def test_stream_parser_defaults(self):
+        args = build_parser().parse_args(["stream", "x.pcap", "--db", "d.json"])
+        assert args.command == "stream"
+        assert args.window_s == 300.0 and args.slide_s is None
+        assert not args.spoof_guard and not args.track

@@ -1,0 +1,181 @@
+"""Tests for the reference database and its incremental packed view.
+
+The incremental pack (capacity-doubling buffers, per-row updates on
+``add``/``remove``) must stay numerically identical to a from-scratch
+:meth:`PackedDatabase.from_signatures` rebuild after any mutation
+sequence, including frame-type purges and ragged transitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dot11.mac import vendor_mac
+from repro.core.database import PackedDatabase, ReferenceDatabase
+from repro.core.signature import Signature
+from tests.test_batch_matching import random_database, random_signature
+
+
+def assert_pack_equivalent(database: ReferenceDatabase) -> None:
+    """The live pack must equal a full rebuild from the signatures."""
+    incremental = database.packed()
+    rebuilt = PackedDatabase.from_signatures(list(database.items()))
+    if rebuilt is None:
+        assert incremental is None or len(database) == 0
+        return
+    assert incremental is not None
+    assert incremental.devices == rebuilt.devices
+    assert set(incremental.frame_types) == set(rebuilt.frame_types)
+    for ftype in rebuilt.frame_types:
+        np.testing.assert_allclose(
+            incremental.frequencies[ftype], rebuilt.frequencies[ftype], atol=1e-12
+        )
+        np.testing.assert_allclose(
+            incremental.weights[ftype], rebuilt.weights[ftype], atol=1e-12
+        )
+        np.testing.assert_allclose(
+            incremental.normalized[ftype], rebuilt.normalized[ftype], atol=1e-12
+        )
+
+
+def one_type_signature(ftype: str, bins: int) -> Signature:
+    histogram = np.zeros(bins)
+    histogram[0] = 1.0
+    return Signature(histograms={ftype: histogram}, weights={ftype: 1.0})
+
+
+class TestRemove:
+    def test_remove_known_device_returns_true(self):
+        rng = np.random.default_rng(10)
+        database = random_database(rng, devices=3)
+        victim = database.devices[1]
+        assert database.remove(victim) is True
+        assert victim not in database
+        assert len(database) == 2
+
+    def test_remove_unknown_device_is_a_noop(self):
+        rng = np.random.default_rng(11)
+        database = random_database(rng, devices=3)
+        before = list(database.devices)
+        assert database.remove(vendor_mac("00:13:e8", 999)) is False
+        assert list(database.devices) == before
+        assert_pack_equivalent(database)
+
+
+class TestIncrementalPack:
+    def test_random_mutation_sequence_stays_equivalent(self):
+        rng = np.random.default_rng(12)
+        database = ReferenceDatabase()
+        pool = [vendor_mac("00:13:e8", i + 1) for i in range(25)]
+        database.packed()  # start from the (empty) incremental path
+        for _ in range(120):
+            action = rng.random()
+            device = pool[int(rng.integers(len(pool)))]
+            if action < 0.6:
+                database.add(device, random_signature(rng))  # add or replace
+            else:
+                database.remove(device)  # may be a no-op
+            assert_pack_equivalent(database)
+
+    def test_add_preserves_insertion_order_and_grows(self):
+        rng = np.random.default_rng(13)
+        database = ReferenceDatabase()
+        devices = [vendor_mac("00:13:e8", i + 1) for i in range(40)]
+        for device in devices:
+            database.add(device, random_signature(rng))
+            packed = database.packed()
+            assert list(packed.devices) == database.devices
+        assert database.packed().devices == tuple(devices)
+
+    def test_replacement_updates_row_in_place(self):
+        rng = np.random.default_rng(14)
+        database = random_database(rng, devices=5)
+        database.packed()
+        target = database.devices[2]
+        replacement = random_signature(rng)
+        database.add(target, replacement)
+        packed = database.packed()
+        assert packed.devices == tuple(database.devices)  # position kept
+        for ftype, histogram in replacement.histograms.items():
+            np.testing.assert_allclose(packed.frequencies[ftype][2], histogram)
+        assert_pack_equivalent(database)
+
+    def test_removing_last_member_purges_frame_type(self):
+        database = ReferenceDatabase()
+        a = vendor_mac("00:13:e8", 1)
+        b = vendor_mac("00:13:e8", 2)
+        database.add(a, one_type_signature("Data", 4))
+        database.add(b, one_type_signature("Beacon", 4))
+        database.packed()
+        database.remove(b)
+        packed = database.packed()
+        assert set(packed.frame_types) == {"Data"}
+        # A later re-add may use a *different* bin count for the purged
+        # type without making the pack ragged.
+        database.add(b, one_type_signature("Beacon", 9))
+        assert database.packed() is not None
+        assert_pack_equivalent(database)
+
+    def test_ragged_add_and_recovery_via_remove(self):
+        database = ReferenceDatabase()
+        a = vendor_mac("00:13:e8", 1)
+        offender = vendor_mac("00:13:e8", 2)
+        database.add(a, one_type_signature("Data", 4))
+        assert database.packed() is not None
+        database.add(offender, one_type_signature("Data", 7))
+        assert database.packed() is None  # ragged
+        assert database.remove(offender) is True
+        packed = database.packed()  # full rebuild resolves the conflict
+        assert packed is not None and packed.devices == (a,)
+        assert_pack_equivalent(database)
+
+    def test_empty_database_packs_to_none_after_removals(self):
+        database = ReferenceDatabase()
+        device = vendor_mac("00:13:e8", 1)
+        database.add(device, one_type_signature("Data", 4))
+        database.packed()
+        database.remove(device)
+        assert database.packed() is None
+        database.add(device, one_type_signature("Data", 4))
+        assert database.packed() is not None
+
+
+class TestMatchingAfterMutations:
+    def test_match_scores_track_membership_changes(self):
+        from repro.core.matcher import _scalar_match, match_signature
+        from repro.core.similarity import cosine_similarity
+
+        rng = np.random.default_rng(15)
+        database = random_database(rng, devices=10)
+        candidate = random_signature(rng)
+        for step in range(20):
+            device = vendor_mac("00:13:e8", int(rng.integers(1, 15)))
+            if rng.random() < 0.5:
+                database.add(device, random_signature(rng))
+            else:
+                database.remove(device)
+            if len(database) == 0:
+                continue
+            fast = match_signature(candidate, database)
+            slow = _scalar_match(candidate, database, cosine_similarity)
+            assert list(fast) == list(slow)
+            np.testing.assert_allclose(
+                list(fast.values()), list(slow.values()), atol=1e-9
+            )
+
+    def test_stale_candidate_type_after_purge_contributes_zero(self):
+        """A purged frame type must not shape-clash with candidates."""
+        database = ReferenceDatabase()
+        a = vendor_mac("00:13:e8", 1)
+        b = vendor_mac("00:13:e8", 2)
+        database.add(a, one_type_signature("Data", 4))
+        database.add(b, one_type_signature("Beacon", 6))
+        database.packed()
+        database.remove(b)
+        from repro.core.matcher import batch_match_signatures, match_signature
+
+        candidate = one_type_signature("Beacon", 3)  # different width
+        scores = match_signature(candidate, database)
+        assert scores == {a: 0.0}
+        matrix = batch_match_signatures([candidate], database)
+        assert matrix.shape == (1, 1) and matrix[0, 0] == 0.0

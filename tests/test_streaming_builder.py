@@ -1,0 +1,221 @@
+"""Streaming/batch equivalence for the online signature builder.
+
+The tentpole invariant (mirroring ``tests/test_batch_matching.py``):
+:class:`StreamingSignatureBuilder` fed frame-by-frame with decay off
+must match :meth:`SignatureBuilder.build` bin-for-bin (atol 1e-9) on
+the same frames — same devices, same frame types, same histograms,
+weights and observation counts — for every network parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.frames import FrameSubtype, ack_frame
+from repro.dot11.mac import MacAddress, vendor_mac
+from repro.core.parameters import ALL_PARAMETERS, InterArrivalTime
+from repro.core.signature import SignatureBuilder
+from repro.streaming.builder import StreamingSignatureBuilder
+from tests.conftest import make_data_capture
+
+AP = MacAddress.parse("00:0f:b5:00:00:01")
+
+
+def random_frames(
+    rng: np.random.Generator, count: int = 400, senders: int = 5
+) -> list[CapturedFrame]:
+    """A synthetic capture: mixed sizes/rates/subtypes, ACK gaps."""
+    population = [vendor_mac("00:13:e8", i + 1) for i in range(senders)]
+    rates = (1.0, 2.0, 5.5, 11.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0)
+    frames: list[CapturedFrame] = []
+    t = 1000.0
+    for _ in range(count):
+        t += float(rng.integers(5, 3000))
+        sender = population[int(rng.integers(senders))]
+        if rng.random() < 0.2:
+            # Unattributable ACK: no observation, advances the clock.
+            frames.append(
+                CapturedFrame(timestamp_us=t, frame=ack_frame(sender), rate_mbps=24.0)
+            )
+            continue
+        subtype = (
+            FrameSubtype.QOS_DATA if rng.random() < 0.7 else FrameSubtype.BEACON
+        )
+        frames.append(
+            make_data_capture(
+                t,
+                sender,
+                AP,
+                size=int(rng.integers(60, 2000)),
+                rate=float(rates[int(rng.integers(len(rates)))]),
+                subtype=subtype,
+            )
+        )
+    return frames
+
+
+def assert_signatures_equal(batch: dict, streamed: dict) -> None:
+    assert set(batch) == set(streamed)
+    for device, expected in batch.items():
+        actual = streamed[device]
+        assert expected.frame_types == actual.frame_types
+        for ftype in expected.frame_types:
+            np.testing.assert_allclose(
+                actual.histograms[ftype], expected.histograms[ftype], atol=1e-9
+            )
+            assert actual.weight(ftype) == pytest.approx(
+                expected.weight(ftype), abs=1e-9
+            )
+        assert actual.observation_counts == expected.observation_counts
+
+
+class TestBatchEquivalence:
+    def test_property_random_streams_match_batch(self):
+        """Property sweep: random captures × all five parameters."""
+        rng = np.random.default_rng(77)
+        for round_index in range(5):
+            frames = random_frames(rng, count=300 + 50 * round_index)
+            for parameter in ALL_PARAMETERS:
+                batch = SignatureBuilder(parameter, min_observations=10).build(frames)
+                online = StreamingSignatureBuilder(parameter, min_observations=10)
+                for frame in frames:
+                    online.update(frame)
+                assert_signatures_equal(batch, online.signatures())
+
+    def test_simulated_capture_matches_batch(self, small_office_trace):
+        for parameter in ALL_PARAMETERS:
+            batch = SignatureBuilder(parameter, min_observations=30).build(
+                small_office_trace.frames
+            )
+            online = StreamingSignatureBuilder(parameter, min_observations=30)
+            for frame in small_office_trace.frames:
+                online.update(frame)
+            assert_signatures_equal(batch, online.signatures())
+
+    def test_gating_matches_batch(self):
+        """Devices straddling the min-observation gate agree."""
+        rng = np.random.default_rng(78)
+        frames = random_frames(rng, count=120, senders=8)
+        parameter = InterArrivalTime()
+        for gate in (1, 5, 20, 1000):
+            batch = SignatureBuilder(parameter, min_observations=gate).build(frames)
+            online = StreamingSignatureBuilder(parameter, min_observations=gate)
+            for frame in frames:
+                online.update(frame)
+            assert_signatures_equal(batch, online.signatures())
+
+
+class TestDecay:
+    def test_half_life_halves_the_mass(self):
+        builder = StreamingSignatureBuilder(
+            InterArrivalTime(), min_observations=1, decay_half_life_s=10.0
+        )
+        device = vendor_mac("00:13:e8", 1)
+        t = 0.0
+        for _ in range(50):
+            t += 500.0
+            builder.update(make_data_capture(t, device, AP))
+        mass_now = builder.observation_mass(device, now_us=t)
+        mass_later = builder.observation_mass(device, now_us=t + 10.0 * 1e6)
+        assert mass_later == pytest.approx(mass_now / 2.0, rel=1e-9)
+        # Omitting now_us anchors at the device's last update — the
+        # deflated mass, never the raw inflated counters.
+        assert builder.observation_mass(device) == pytest.approx(mass_now, rel=1e-9)
+
+    def test_decay_shifts_weight_to_recent_behaviour(self):
+        """After several half-lives, old behaviour barely registers."""
+        builder = StreamingSignatureBuilder(
+            InterArrivalTime(), min_observations=1, decay_half_life_s=5.0
+        )
+        device = vendor_mac("00:13:e8", 1)
+        # Phase 1: tight 100 µs inter-arrivals.
+        t = 0.0
+        for _ in range(200):
+            t += 100.0
+            builder.update(make_data_capture(t, device, AP))
+        # Phase 2 (40 half-lives later): 2000 µs inter-arrivals.
+        t += 200.0 * 1e6
+        builder.update(make_data_capture(t, device, AP))
+        for _ in range(200):
+            t += 2000.0
+            builder.update(make_data_capture(t, device, AP))
+        signature = builder.signature(device)
+        assert signature is not None
+        bins = builder.bins
+        histogram = signature.histograms["QoS Data"]
+        old_bin = bins.index(100.0)
+        new_bin = bins.index(2000.0)
+        assert histogram[new_bin] > 0.99
+        assert histogram[old_bin] < 1e-6
+
+    def test_decayed_mass_can_fall_below_the_gate(self):
+        builder = StreamingSignatureBuilder(
+            InterArrivalTime(), min_observations=30, decay_half_life_s=1.0
+        )
+        device = vendor_mac("00:13:e8", 1)
+        t = 0.0
+        for _ in range(60):
+            t += 200.0
+            builder.update(make_data_capture(t, device, AP))
+        assert builder.signature(device, now_us=t) is not None
+        assert builder.signature(device, now_us=t + 60.0 * 1e6) is None
+
+    def test_rebase_keeps_numbers_stable_on_long_streams(self):
+        """Inflated weights are rebased, not overflowed."""
+        builder = StreamingSignatureBuilder(
+            InterArrivalTime(), min_observations=1, decay_half_life_s=0.001
+        )
+        device = vendor_mac("00:13:e8", 1)
+        t = 0.0
+        for _ in range(3000):
+            t += 300.0
+            builder.update(make_data_capture(t, device, AP))
+        signature = builder.signature(device)
+        assert signature is not None
+        for histogram in signature.histograms.values():
+            assert np.isfinite(histogram).all()
+        assert builder.observation_mass(device, now_us=t) > 0
+
+    def test_invalid_half_life_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingSignatureBuilder(InterArrivalTime(), decay_half_life_s=0.0)
+
+
+class TestResidency:
+    def test_evict_and_resident_count(self):
+        builder = StreamingSignatureBuilder(InterArrivalTime(), min_observations=1)
+        a = vendor_mac("00:13:e8", 1)
+        b = vendor_mac("00:13:e8", 2)
+        builder.update(make_data_capture(1000.0, a, AP))
+        builder.update(make_data_capture(1500.0, a, AP))
+        builder.update(make_data_capture(2000.0, b, AP))
+        assert builder.resident_count == 2
+        assert builder.evict(a) is True
+        assert builder.evict(a) is False
+        assert builder.resident_count == 1
+        assert builder.signature(a) is None
+
+    def test_evict_idle_drops_only_stale_devices(self):
+        from repro.core.parameters import FrameSize
+
+        # Frame size keeps every attributed observation, so the idle
+        # device retains state across the long gaps below.
+        builder = StreamingSignatureBuilder(FrameSize(), min_observations=1)
+        a = vendor_mac("00:13:e8", 1)
+        b = vendor_mac("00:13:e8", 2)
+        builder.update(make_data_capture(1000.0, a, AP))
+        builder.update(make_data_capture(1200.0, a, AP))
+        t = 1200.0
+        for _ in range(20):
+            t += 1.0 * 1e6
+            builder.update(make_data_capture(t, b, AP))
+        victims = builder.evict_idle(now_us=t, idle_timeout_s=5.0)
+        assert victims == [a]
+        assert builder.resident_count == 1
+        assert builder.last_seen_us(b) == t
+
+    def test_min_observations_validated(self):
+        with pytest.raises(ValueError):
+            StreamingSignatureBuilder(InterArrivalTime(), min_observations=0)

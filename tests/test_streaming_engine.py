@@ -1,0 +1,369 @@
+"""End-to-end tests for the streaming engine.
+
+The load-bearing invariant: with decay off and tumbling windows, the
+engine consuming a frame source one frame at a time produces exactly
+the matches of the batch pipeline
+(:func:`~repro.core.detection.extract_window_candidates`) on the same
+trace — across in-memory, pcap and live-simulator sources.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core.database import ReferenceDatabase
+from repro.core.detection import DetectionConfig, extract_window_candidates
+from repro.core.parameters import InterArrivalTime
+from repro.core.signature import SignatureBuilder
+from repro.streaming import (
+    CollectingSink,
+    DeviceMatched,
+    JsonLinesSink,
+    LiveTracker,
+    OnlineRogueApGuard,
+    OnlineSpoofGuard,
+    PseudonymLinked,
+    RogueApAlert,
+    SpoofAlert,
+    StreamEngine,
+    StreamingSignatureBuilder,
+    WindowClosed,
+    WindowConfig,
+    pcap_source,
+    replay_source,
+)
+
+PARAMETER = InterArrivalTime()
+WINDOW_S = 15.0
+MIN_OBS = 30
+
+
+@pytest.fixture(scope="module")
+def reference_setup(small_office_trace):
+    """Training database + validation remainder of the office trace."""
+    split = small_office_trace.split(45.0)
+    builder = SignatureBuilder(PARAMETER, min_observations=MIN_OBS)
+    database = ReferenceDatabase.from_training(builder, split.training.frames)
+    assert len(database) >= 2
+    return builder, database, split
+
+
+def make_engine(database, window_s=WINDOW_S, **kwargs):
+    return StreamEngine(
+        lambda: StreamingSignatureBuilder(PARAMETER, min_observations=MIN_OBS),
+        database=database,
+        window=WindowConfig(window_s=window_s),
+        **kwargs,
+    )
+
+
+def batch_best(candidates):
+    """(window, device) → (best reference, similarity) from the batch run."""
+    out = {}
+    for candidate in candidates:
+        best = max(candidate.similarities, key=lambda d: candidate.similarities[d])
+        out[(candidate.window_index, candidate.device)] = (
+            best,
+            candidate.similarities[best],
+        )
+    return out
+
+
+class TestBatchPipelineEquivalence:
+    def test_matches_equal_extract_window_candidates(self, reference_setup):
+        builder, database, split = reference_setup
+        config = DetectionConfig(window_s=WINDOW_S, min_observations=MIN_OBS)
+        expected = batch_best(
+            extract_window_candidates(split.validation, builder, database, config)
+        )
+        sink = CollectingSink()
+        engine = make_engine(database, sinks=[sink])
+        stats = engine.run(replay_source(split.validation.frames))
+        matches = {
+            (m.window_index, m.device): (m.best_device, m.similarity)
+            for m in sink.of_type(DeviceMatched)
+        }
+        assert set(matches) == set(expected)
+        for key, (device, similarity) in expected.items():
+            assert matches[key][0] == device
+            assert matches[key][1] == pytest.approx(similarity, abs=1e-9)
+        assert stats.frames == len(split.validation.frames)
+        assert stats.candidates == len(expected)
+
+    def test_pcap_source_equals_loaded_trace(self, reference_setup, tmp_path):
+        """Chunked pcap iteration == materialising the same pcap.
+
+        (The pcap container itself quantises timestamps to whole µs,
+        so the reference is the *loaded* trace, not the pre-write one.)
+        """
+        from repro.traces.trace import Trace
+
+        _, database, split = reference_setup
+        path = tmp_path / "validation.pcap"
+        split.validation.to_pcap(path)
+
+        def run(source):
+            sink = CollectingSink()
+            make_engine(database, sinks=[sink]).run(source)
+            return [
+                (m.window_index, m.device, m.best_device, round(m.similarity, 9))
+                for m in sink.of_type(DeviceMatched)
+            ]
+
+        loaded = Trace.from_pcap(path)
+        assert run(pcap_source(path)) == run(replay_source(loaded.frames))
+
+    def test_live_simulator_source(self, reference_setup):
+        """The engine consumes the simulator's incremental feed."""
+        from repro.simulator import CbrTraffic, Scenario, StationSpec
+
+        _, database, _ = reference_setup
+        scenario = Scenario(duration_s=40.0, seed=5, encrypted=True)
+        scenario.add_station(
+            StationSpec(
+                name="alice",
+                profile="intel-2200bg-linux",
+                sources=[CbrTraffic(interval_ms=30)],
+            )
+        )
+        sink = CollectingSink()
+        stats = make_engine(database, sinks=[sink]).run(scenario.stream(chunk_s=2.0))
+        assert stats.frames > 0
+        assert stats.windows_closed >= 2
+        assert sink.of_type(WindowClosed)
+
+
+class TestEngineBehaviour:
+    def test_window_closed_events_carry_bookkeeping(self, reference_setup):
+        _, database, split = reference_setup
+        sink = CollectingSink()
+        stats = make_engine(database, sinks=[sink]).run(
+            replay_source(split.validation.frames)
+        )
+        closed = sink.of_type(WindowClosed)
+        assert len(closed) == stats.windows_closed
+        assert [event.window_index for event in closed] == sorted(
+            event.window_index for event in closed
+        )
+        assert sum(event.frame_count for event in closed) >= len(
+            split.validation.frames
+        )
+        assert stats.peak_resident_devices >= max(
+            event.candidate_count for event in closed
+        )
+        assert stats.duration_s > 0
+
+    def test_engine_without_database_still_windows(self, reference_setup):
+        _, _, split = reference_setup
+        sink = CollectingSink()
+        engine = StreamEngine(
+            lambda: StreamingSignatureBuilder(PARAMETER, min_observations=MIN_OBS),
+            sinks=[sink],
+        )
+        engine.run(replay_source(split.validation.frames[:2000]))
+        assert engine.matcher is None
+        assert sink.of_type(WindowClosed)
+        assert not sink.of_type(DeviceMatched)
+
+    def test_live_reference_updates_between_windows(self, reference_setup):
+        """learn/forget mid-stream rides the incremental pack."""
+        _, database, split = reference_setup
+        frames = split.validation.frames
+        sink = CollectingSink()
+        engine = make_engine(database, sinks=[sink])
+        midpoint = len(frames) // 2
+        for frame in frames[:midpoint]:
+            engine.process_frame(frame)
+        retired = engine.matcher.database.devices[0]
+        assert engine.matcher.forget(retired) is True
+        assert engine.matcher.forget(retired) is False  # no-op on miss
+        seen_before_forget = len(sink.of_type(DeviceMatched))
+        for frame in frames[midpoint:]:
+            engine.process_frame(frame)
+        engine.flush()
+        late = sink.of_type(DeviceMatched)[seen_before_forget:]
+        assert late  # the stream kept matching after the removal
+        assert all(m.best_device != retired for m in late)
+        # Re-learning the device is a single O(bins) row append.
+        signature = database.get(database.devices[0])
+        engine.matcher.learn(retired, signature)
+        assert retired in engine.matcher.database
+
+    def test_jsonl_sink_round_trips(self, reference_setup):
+        _, database, split = reference_setup
+        buffer = io.StringIO()
+        make_engine(database, sinks=[JsonLinesSink(buffer)]).run(
+            replay_source(split.validation.frames[:3000])
+        )
+        lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert lines
+        assert all("event" in payload for payload in lines)
+        closed = [p for p in lines if p["event"] == "WindowClosed"]
+        assert closed and all("candidate_count" in p for p in closed)
+
+
+class TestApplicationAdapters:
+    def test_spoof_guard_matches_batch_detector(self, reference_setup):
+        """Per-window streaming verdicts == batch check_window verdicts."""
+        from repro.applications.spoof_detector import SpoofDetector
+
+        _, _, split = reference_setup
+        detector = SpoofDetector(min_observations=MIN_OBS)
+        detector.learn(split.training.frames, set(split.training.senders()))
+        sink = CollectingSink()
+        engine = StreamEngine(
+            lambda: StreamingSignatureBuilder(PARAMETER, min_observations=MIN_OBS),
+            window=WindowConfig(window_s=WINDOW_S),
+            analyzers=[OnlineSpoofGuard(detector)],
+            sinks=[sink],
+        )
+        engine.run(replay_source(split.validation.frames))
+        streamed = {
+            (alert.window_index, alert.device): alert.verdict
+            for alert in sink.of_type(SpoofAlert)
+        }
+        expected = {}
+        for index, window in enumerate(split.validation.windows(WINDOW_S)):
+            for check in detector.check_window(window.frames):
+                if check.verdict.value in ("spoofed", "unknown"):
+                    expected[(index, check.device)] = check.verdict.value
+        assert streamed == expected
+
+    def test_live_tracker_matches_batch_tracker(self, reference_setup):
+        import random
+
+        from repro.applications.attacks import spoof_mac
+        from repro.applications.tracker import DeviceTracker
+
+        _, _, split = reference_setup
+        tracker = DeviceTracker(min_observations=MIN_OBS, link_threshold=0.3)
+        assert tracker.learn(split.training.frames) >= 2
+        device = tracker.database.devices[0]
+        pseudonym = device.randomized(random.Random(3))
+        observed = spoof_mac(split.validation.frames, device, pseudonym)
+
+        sink = CollectingSink()
+        engine = StreamEngine(
+            lambda: StreamingSignatureBuilder(PARAMETER, min_observations=MIN_OBS),
+            window=WindowConfig(window_s=WINDOW_S),
+            analyzers=[LiveTracker(tracker)],
+            sinks=[sink],
+        )
+        engine.run(replay_source(observed))
+        events = sink.of_type(PseudonymLinked)
+        assert events
+        batch_windows = [
+            window.frames for window in _windows_of(observed, WINDOW_S)
+        ]
+        report = tracker.track(batch_windows)
+        expected = {
+            (link.window_index, link.pseudonym): (link.linked_device, link.similarity)
+            for link in report.links
+        }
+        streamed = {
+            (event.window_index, event.pseudonym): (
+                event.linked_device,
+                event.similarity,
+            )
+            for event in events
+        }
+        assert set(streamed) == set(expected)
+        for key, (linked, similarity) in expected.items():
+            assert streamed[key][0] == linked
+            assert streamed[key][1] == pytest.approx(similarity, abs=1e-9)
+
+    def test_rogue_ap_guard_alerts_on_impostor(self, reference_setup):
+        from repro.applications.attacks import spoof_mac
+        from repro.applications.rogue_ap import RogueApDetector
+        from repro.core.parameters import FrameSize
+        from repro.simulator import CbrTraffic, Scenario, StationSpec, WebTraffic
+
+        def run_ap(profile: str, seed: int, beacon_size: int):
+            scenario = Scenario(
+                duration_s=90.0, seed=seed, ap_profile=profile, ap_beacon_size=beacon_size
+            )
+            scenario.add_station(
+                StationSpec(
+                    name="client",
+                    profile="intel-2200bg-linux",
+                    sources=[CbrTraffic(interval_ms=4), WebTraffic(mean_think_s=1.5)],
+                )
+            )
+            return scenario.run()
+
+        genuine = run_ap("atheros-ar9285-ath9k", seed=31, beacon_size=180)
+        rogue = run_ap("broadcom-4318-win", seed=32, beacon_size=212)
+        ap = next(m for m, n in genuine.station_names.items() if n == "ap-0")
+        rogue_ap = next(m for m, n in rogue.station_names.items() if n == "ap-0")
+
+        detector = RogueApDetector(parameter=FrameSize(), min_observations=MIN_OBS)
+        assert detector.learn(genuine.captures, ap)
+
+        def alerts_for(frames):
+            sink = CollectingSink()
+            engine = StreamEngine(
+                lambda: StreamingSignatureBuilder(FrameSize(), min_observations=MIN_OBS),
+                window=WindowConfig(window_s=30.0),
+                analyzers=[OnlineRogueApGuard(detector, ap)],
+                sinks=[sink],
+            )
+            engine.run(replay_source(frames))
+            return sink.of_type(RogueApAlert)
+
+        assert alerts_for(genuine.captures) == []
+        impersonated = spoof_mac(rogue.captures, rogue_ap, ap)
+        rogue_alerts = alerts_for(impersonated)
+        assert rogue_alerts
+        assert all(alert.ap == ap for alert in rogue_alerts)
+
+    def test_rogue_guard_window_boundaries_match_batch(self):
+        """A frame at a window's end belongs to the *next* guard span.
+
+        Regression test: the engine must close windows (resetting the
+        guard's accumulator) before the guard sees the boundary frame,
+        or per-window observation counts drift from the batch truth.
+        """
+        from repro.applications.rogue_ap import RogueApDetector, ap_own_frames
+        from repro.core.parameters import FrameSize
+        from repro.dot11.frames import Dot11Frame, FrameSubtype
+        from repro.dot11.mac import MacAddress
+
+        ap = MacAddress.parse("00:0f:b5:00:00:01")
+
+        def beacon(t_s: float):
+            from repro.dot11.capture import CapturedFrame
+
+            return CapturedFrame(
+                timestamp_us=t_s * 1e6,
+                frame=Dot11Frame(subtype=FrameSubtype.BEACON, size=180, addr2=ap, addr3=ap),
+                rate_mbps=1.0,
+            )
+
+        frames = [beacon(t) for t in (0.0, 0.2, 0.4, 0.6, 1.0, 1.2)]
+        detector = RogueApDetector(parameter=FrameSize(), min_observations=1)
+        detector.learn(frames, ap)
+        detector.accept_threshold = 1.01  # force an alert per window
+
+        sink = CollectingSink()
+        engine = StreamEngine(
+            lambda: StreamingSignatureBuilder(FrameSize(), min_observations=1),
+            window=WindowConfig(window_s=1.0),
+            analyzers=[OnlineRogueApGuard(detector, ap)],
+            sinks=[sink],
+        )
+        engine.run(replay_source(frames))
+        streamed = [a.observations for a in sink.of_type(RogueApAlert)]
+        expected = [
+            len(ap_own_frames(window.frames, ap))
+            for window in _windows_of(frames, 1.0)
+        ]
+        assert streamed == expected == [4, 2]
+
+
+def _windows_of(frames, window_s):
+    from repro.traces.trace import Trace
+
+    return Trace(frames=list(frames), name="w").windows(window_s)

@@ -1,0 +1,135 @@
+"""Window semantics of the streaming WindowManager.
+
+Tumbling windows must reproduce :meth:`Trace.windows` boundaries
+exactly; sliding windows must keep ``ceil(W/S)`` concurrent spans; and
+window indices must stay aligned with the batch enumeration across
+empty stretches of the stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dot11.mac import MacAddress, vendor_mac
+from repro.core.parameters import FrameSize
+from repro.streaming.builder import StreamingSignatureBuilder
+from repro.streaming.windows import WindowConfig, WindowManager
+from tests.conftest import make_data_capture
+
+AP = MacAddress.parse("00:0f:b5:00:00:01")
+A = vendor_mac("00:13:e8", 1)
+B = vendor_mac("00:13:e8", 2)
+
+
+def manager(
+    window_s: float = 10.0,
+    slide_s: float | None = None,
+    min_observations: int = 1,
+    idle_timeout_s: float | None = None,
+) -> WindowManager:
+    return WindowManager(
+        lambda: StreamingSignatureBuilder(FrameSize(), min_observations=min_observations),
+        WindowConfig(window_s=window_s, slide_s=slide_s, idle_timeout_s=idle_timeout_s),
+    )
+
+
+class TestTumbling:
+    def test_windows_align_to_first_frame(self):
+        windows = manager(window_s=10.0)
+        assert windows.update(make_data_capture(5_000_000.0, A, AP)) == []
+        assert windows.open_windows == 1
+        (index, start, end) = next(windows.window_spans())
+        assert (index, start, end) == (0, 5_000_000.0, 15_000_000.0)
+
+    def test_frame_at_boundary_closes_the_window_first(self):
+        windows = manager(window_s=10.0)
+        windows.update(make_data_capture(0.0, A, AP))
+        closed = windows.update(make_data_capture(10_000_000.0, B, AP))
+        assert [w.index for w in closed] == [0]
+        assert closed[0].frame_count == 1
+        assert closed[0].senders == {A}
+        # The boundary frame went into window 1, not window 0.
+        (index, start, _end) = next(windows.window_spans())
+        assert (index, start) == (1, 10_000_000.0)
+
+    def test_indices_stay_aligned_across_empty_gaps(self):
+        windows = manager(window_s=10.0)
+        windows.update(make_data_capture(0.0, A, AP))
+        # A 75 s silence: windows 1–6 never open, window 7 catches the frame.
+        closed = windows.update(make_data_capture(75_000_000.0, B, AP))
+        assert [w.index for w in closed] == [0]
+        (index, start, _end) = next(windows.window_spans())
+        assert index == 7 and start == 70_000_000.0
+
+    def test_flush_closes_the_partial_tail(self):
+        windows = manager(window_s=10.0)
+        windows.update(make_data_capture(0.0, A, AP))
+        windows.update(make_data_capture(12_000_000.0, B, AP))
+        tail = windows.flush()
+        assert [w.index for w in tail] == [1]
+        assert windows.open_windows == 0
+        assert windows.flush() == []
+
+    def test_gating_filters_quiet_devices_but_keeps_senders(self):
+        windows = manager(window_s=10.0, min_observations=3)
+        for offset in (0.0, 1000.0, 2000.0):
+            windows.update(make_data_capture(offset, A, AP))
+        windows.update(make_data_capture(3000.0, B, AP))  # one frame only
+        (closed,) = windows.flush()
+        assert set(closed.signatures) == {A}
+        assert closed.senders == {A, B}
+
+
+class TestSliding:
+    def test_concurrent_window_count(self):
+        windows = manager(window_s=10.0, slide_s=2.5)
+        windows.update(make_data_capture(0.0, A, AP))
+        assert windows.open_windows == 1  # only window 0 covers t=0
+        windows.update(make_data_capture(9_000_000.0, A, AP))
+        # Slides at 0, 2.5, 5, 7.5 s all cover t=9 s.
+        assert windows.open_windows == 4
+
+    def test_frame_lands_in_every_covering_window(self):
+        windows = manager(window_s=10.0, slide_s=5.0)
+        windows.update(make_data_capture(0.0, A, AP))
+        windows.update(make_data_capture(7_000_000.0, B, AP))
+        closed = {w.index: w for w in windows.flush()}
+        assert set(closed) == {0, 1}
+        assert closed[0].senders == {A, B}  # [0, 10) saw both
+        assert closed[1].senders == {B}  # [5, 15) saw only the late frame
+
+    def test_windows_close_in_index_order(self):
+        windows = manager(window_s=10.0, slide_s=2.5)
+        windows.update(make_data_capture(0.0, A, AP))
+        windows.update(make_data_capture(9_000_000.0, A, AP))
+        closed = windows.update(make_data_capture(16_000_000.0, B, AP))
+        assert [w.index for w in closed] == [0, 1, 2]
+
+
+class TestEviction:
+    def test_idle_devices_are_swept_inside_long_windows(self):
+        windows = manager(window_s=3600.0, idle_timeout_s=5.0)
+        windows.update(make_data_capture(0.0, A, AP))
+        windows.update(make_data_capture(1000.0, A, AP))
+        t = 1000.0
+        # Enough traffic from B to trigger a sweep (512-frame cadence)
+        # long after A went silent.
+        for _ in range(1100):
+            t += 20_000.0
+            windows.update(make_data_capture(t, B, AP))
+        (closed,) = windows.flush()
+        assert A in closed.evicted
+        assert A not in closed.signatures
+        assert B in closed.signatures
+
+
+class TestConfigValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            WindowConfig(window_s=0.0)
+        with pytest.raises(ValueError):
+            WindowConfig(window_s=10.0, slide_s=20.0)
+        with pytest.raises(ValueError):
+            WindowConfig(window_s=10.0, slide_s=0.0)
+        with pytest.raises(ValueError):
+            WindowConfig(window_s=10.0, idle_timeout_s=-1.0)
