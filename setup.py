@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-80211-fingerprinting",
-    version="0.3.0",
+    version="0.4.0",
     description=(
         "Reproduction of Neumann, Heen & Onno, 'An Empirical Study of "
         "Passive 802.11 Device Fingerprinting' (ICDCS Workshops 2012)"

@@ -75,6 +75,17 @@ class RogueApDetector:
         self._ap = ap
         return True
 
+    def use_reference(self, signature: Signature, ap: MacAddress) -> None:
+        """Adopt an already-learnt AP signature as the published one.
+
+        This is how a loaded reference database plugs in: clients fetch
+        the AP's signature from a store
+        (:func:`repro.persistence.load_database` + ``database.get(ap)``)
+        instead of re-learning it from a safe capture.
+        """
+        self._reference = signature
+        self._ap = ap
+
     def check(self, frames: list[CapturedFrame], claimed_ap: MacAddress) -> RogueApVerdict:
         """Fingerprint the currently visible AP traffic.
 

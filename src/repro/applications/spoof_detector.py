@@ -59,7 +59,13 @@ class SpoofDetector:
         accept_threshold: float = 0.55,
         margin: float = 0.0,
         min_observations: int = 50,
+        database: ReferenceDatabase | None = None,
     ) -> None:
+        """``database`` seeds the allow-list with an existing reference
+        database — e.g. one loaded from disk
+        (:func:`repro.persistence.load_database`) or a
+        :class:`~repro.core.sharding.ShardedReferenceDatabase`; the
+        default is a fresh empty database filled by :meth:`learn`."""
         if not 0.0 <= accept_threshold <= 1.0:
             raise ValueError(f"threshold out of range: {accept_threshold}")
         self.parameter = parameter if parameter is not None else InterArrivalTime()
@@ -68,7 +74,7 @@ class SpoofDetector:
         self.builder = SignatureBuilder(
             self.parameter, min_observations=min_observations
         )
-        self.database = ReferenceDatabase()
+        self.database = database if database is not None else ReferenceDatabase()
 
     def learn(self, frames: list[CapturedFrame], allowed: set[MacAddress]) -> set[MacAddress]:
         """Learning stage over a clean window; returns devices learnt.

@@ -69,13 +69,18 @@ class DeviceTracker:
         parameter: NetworkParameter | None = None,
         link_threshold: float = 0.5,
         min_observations: int = 50,
+        database: ReferenceDatabase | None = None,
     ) -> None:
+        """``database`` seeds the tracker with an existing reference
+        database — a loaded store (:func:`repro.persistence.load_database`)
+        or a :class:`~repro.core.sharding.ShardedReferenceDatabase`;
+        the default is a fresh database filled by :meth:`learn`."""
         self.parameter = parameter if parameter is not None else InterArrivalTime()
         self.link_threshold = link_threshold
         self.builder = SignatureBuilder(
             self.parameter, min_observations=min_observations
         )
-        self.database = ReferenceDatabase()
+        self.database = database if database is not None else ReferenceDatabase()
 
     def learn(self, frames: list[CapturedFrame]) -> int:
         """Learn device signatures from a capture with true addresses."""

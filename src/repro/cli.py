@@ -18,7 +18,13 @@ simulator-produced):
   device's inter-arrival histogram (Figure 2 style);
 * ``repro-80211 stream capture.pcap --db refs.json`` — run the online
   engine: the pcap is consumed frame-by-frame in bounded memory,
-  windows are matched live and alerts stream out as they happen.
+  windows are matched live and alerts stream out as they happen; with
+  ``--checkpoint``/``--resume`` the engine state survives restarts
+  (DESIGN.md §5);
+* ``repro-80211 db save|load|merge|info`` — manage persistent
+  reference-database stores (versioned ``.npz`` + JSONL directories,
+  :mod:`repro.persistence.store`).  ``--db`` everywhere accepts either
+  a legacy JSON file or a store directory.
 """
 
 from __future__ import annotations
@@ -82,6 +88,27 @@ def load_database(path: Path) -> tuple[ReferenceDatabase, str]:
     return database, payload["parameter"]
 
 
+def load_any_database(path: Path) -> tuple[ReferenceDatabase, str]:
+    """Load a reference database from either supported format.
+
+    A directory (or anything holding a ``meta.json``) is treated as a
+    versioned store (:mod:`repro.persistence.store`); anything else as
+    the legacy single-file JSON format.
+    """
+    from repro.persistence.store import is_database_store
+    from repro.persistence import load_database as load_store
+
+    if is_database_store(path):
+        loaded = load_store(path)
+        if loaded.parameter is None:
+            raise SystemExit(
+                f"{path}: store does not record its network parameter; "
+                "re-save it with `repro-80211 db save`"
+            )
+        return loaded.database, loaded.parameter
+    return load_database(path)
+
+
 def _cmd_learn(args: argparse.Namespace) -> int:
     trace = Trace.from_pcap(args.pcap)
     parameter = parameter_by_name(args.parameter)
@@ -93,7 +120,7 @@ def _cmd_learn(args: argparse.Namespace) -> int:
 
 
 def _cmd_match(args: argparse.Namespace) -> int:
-    database, parameter_name = load_database(Path(args.db))
+    database, parameter_name = load_any_database(Path(args.db))
     parameter = parameter_by_name(parameter_name)
     builder = SignatureBuilder(parameter, min_observations=args.min_observations)
     trace = Trace.from_pcap(args.pcap)
@@ -164,7 +191,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         pcap_source,
     )
 
-    database, parameter_name = load_database(Path(args.db))
+    database, parameter_name = load_any_database(Path(args.db))
     parameter = parameter_by_name(parameter_name)
 
     analyzers = []
@@ -226,8 +253,46 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.events:
         events_file = open(args.events, "w")
         engine.subscribe(JsonLinesSink(events_file))
+    already_processed = 0
+    resume_horizon_us: float | None = None
+    if args.resume:
+        engine.restore(args.resume)
+        already_processed = engine.stats.frames
+        resume_horizon_us = engine.stats.last_timestamp_us
+        print(f"resumed from {args.resume} at {already_processed} frames")
     try:
-        stats = engine.run(pcap_source(args.pcap, skip_bad_fcs=args.skip_bad_fcs))
+        source = pcap_source(args.pcap, skip_bad_fcs=args.skip_bad_fcs)
+        if already_processed and resume_horizon_us is not None:
+            # Crash recovery on the SAME capture: the first
+            # `already_processed` frames (all at or before the snapshot's
+            # capture clock) were consumed before the checkpoint — feed
+            # them again and they would double-accumulate into the
+            # restored open windows.  A continuation capture starts
+            # past the horizon, so nothing is skipped there.
+            source = _skip_processed_frames(
+                source, already_processed, resume_horizon_us
+            )
+        if args.checkpoint:
+            # Periodic snapshots on the capture clock, one final one
+            # after the last frame but BEFORE flushing — a flushed
+            # engine has closed its windows early and cannot continue
+            # the capture, so the checkpoint must precede it.
+            last_checkpoint_us: float | None = None
+            for frame in source:
+                engine.process_frame(frame)
+                if args.checkpoint_every_s is not None:
+                    now_us = frame.timestamp_us
+                    if last_checkpoint_us is None:
+                        last_checkpoint_us = now_us
+                    elif now_us - last_checkpoint_us >= args.checkpoint_every_s * 1e6:
+                        engine.checkpoint(args.checkpoint)
+                        last_checkpoint_us = now_us
+            engine.checkpoint(args.checkpoint)
+            print(f"checkpoint -> {args.checkpoint}")
+            engine.flush()
+            stats = engine.stats
+        else:
+            stats = engine.run(source)
     finally:
         if events_file is not None:
             events_file.close()
@@ -241,6 +306,115 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     )
     if by_type:
         print(f"events: {by_type}")
+    return 0
+
+
+def _skip_processed_frames(source, count: int, horizon_us: float):
+    """Drop the ``count`` leading frames a resumed checkpoint already saw.
+
+    Only frames at or before the checkpoint's capture clock are
+    candidates for skipping, so resuming against a *continuation*
+    capture (which starts after the horizon) passes everything through
+    while resuming against the original capture skips exactly the
+    processed prefix.
+    """
+    skipped = 0
+    for frame in source:
+        if skipped < count and frame.timestamp_us <= horizon_us:
+            skipped += 1
+            continue
+        yield frame
+
+
+def _cmd_db_save(args: argparse.Namespace) -> int:
+    from repro.persistence import save_database as save_store
+
+    trace = Trace.from_pcap(args.pcap)
+    parameter = parameter_by_name(args.parameter)
+    builder = SignatureBuilder(parameter, min_observations=args.min_observations)
+    database = ReferenceDatabase.from_training(builder, trace.frames)
+    save_store(database, args.store, parameter=parameter.name)
+    print(f"learnt {len(database)} reference devices -> {args.store}")
+    return 0
+
+
+def _cmd_db_load(args: argparse.Namespace) -> int:
+    from repro.persistence import load_database as load_store
+
+    loaded = load_store(args.store)
+    database = loaded.database
+    rows = [
+        (
+            str(device),
+            str(len(signature.histograms)),
+            str(signature.total_observations),
+        )
+        for device, signature in database.items()
+    ]
+    print(
+        render_table(
+            ["device", "frame types", "observations"],
+            rows,
+            title=(
+                f"{args.store}: {len(database)} devices, "
+                f"parameter={loaded.parameter}, layout={loaded.layout} "
+                f"(format v{loaded.version})"
+            ),
+        )
+    )
+    if args.json:
+        if loaded.parameter is None:
+            print(
+                f"{args.store}: store does not record its network parameter; "
+                "cannot export usable legacy JSON — re-save it with "
+                "`repro-80211 db save`",
+                file=sys.stderr,
+            )
+            return 1
+        save_database(database, loaded.parameter, Path(args.json))
+        print(f"exported legacy JSON -> {args.json}")
+    return 0
+
+
+def _cmd_db_merge(args: argparse.Namespace) -> int:
+    from repro.persistence import load_database as load_store
+    from repro.persistence import save_database as save_store
+
+    merged = ReferenceDatabase()
+    parameter: str | None = None
+    for store in args.stores:
+        loaded = load_store(store)
+        if parameter is None:
+            parameter = loaded.parameter
+        elif loaded.parameter is not None and loaded.parameter != parameter:
+            print(
+                f"cannot merge: {store} was built from parameter "
+                f"{loaded.parameter!r}, earlier stores from {parameter!r}",
+                file=sys.stderr,
+            )
+            return 1
+        report = merged.merge(loaded.database, on_conflict=args.on_conflict)
+        print(
+            f"{store}: +{len(report.added)} added, "
+            f"{len(report.replaced)} replaced, {len(report.skipped)} kept"
+        )
+    save_store(merged, args.out, parameter=parameter)
+    print(f"merged {len(merged)} devices -> {args.out}")
+    return 0
+
+
+def _cmd_db_info(args: argparse.Namespace) -> int:
+    from repro.persistence import database_info
+
+    info = database_info(args.store)
+    print(f"{info['path']}: {info['format']} v{info['version']}")
+    print(f"  layout: {info['layout']}")
+    print(f"  parameter: {info['parameter']}")
+    print(f"  devices: {info['device_count']}")
+    bins = info.get("bin_counts", {})
+    for ftype in info.get("frame_types", []):
+        print(f"  frame type {ftype!r}: {bins.get(ftype, '?')} bins")
+    print(f"  bytes: {info['total_bytes']}")
     return 0
 
 
@@ -344,9 +518,61 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--events", help="write every event as JSON lines to this file"
     )
+    stream.add_argument(
+        "--checkpoint",
+        help="snapshot resumable engine state to this file (written after "
+        "the last frame, before windows are flushed)",
+    )
+    stream.add_argument(
+        "--checkpoint-every-s",
+        type=float,
+        default=None,
+        help="additionally checkpoint every N capture-seconds",
+    )
+    stream.add_argument(
+        "--resume", help="restore engine state from a checkpoint before streaming"
+    )
     stream.add_argument("--skip-bad-fcs", action="store_true")
     stream.add_argument("--verbose", action="store_true")
     stream.set_defaults(func=_cmd_stream)
+
+    db = sub.add_parser(
+        "db", help="manage persistent reference-database stores"
+    )
+    dbsub = db.add_subparsers(dest="db_command", required=True)
+
+    db_save = dbsub.add_parser(
+        "save", help="learn a database from a pcap and persist it"
+    )
+    db_save.add_argument("pcap")
+    db_save.add_argument("store", help="output store directory")
+    common(db_save)
+    db_save.set_defaults(func=_cmd_db_save)
+
+    db_load = dbsub.add_parser(
+        "load", help="load a store and list its devices"
+    )
+    db_load.add_argument("store")
+    db_load.add_argument("--json", help="also export as legacy JSON to this path")
+    db_load.set_defaults(func=_cmd_db_load)
+
+    db_merge = dbsub.add_parser(
+        "merge", help="merge several stores into one"
+    )
+    db_merge.add_argument("stores", nargs="+", help="input store directories")
+    db_merge.add_argument("--out", required=True, help="output store directory")
+    db_merge.add_argument(
+        "--on-conflict",
+        choices=["replace", "keep", "error"],
+        default="replace",
+        help="policy when a device appears in several stores "
+        "(default: the later store wins)",
+    )
+    db_merge.set_defaults(func=_cmd_db_merge)
+
+    db_info = dbsub.add_parser("info", help="show store metadata")
+    db_info.add_argument("store")
+    db_info.set_defaults(func=_cmd_db_info)
 
     simulate = sub.add_parser("simulate", help="generate a synthetic dataset pcap")
     simulate.add_argument(

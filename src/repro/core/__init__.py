@@ -11,7 +11,13 @@ histograms (:mod:`repro.core.histogram`) → weighted signatures
 evaluation harness (:mod:`repro.core.pipeline`).
 """
 
-from repro.core.database import PackedDatabase, ReferenceDatabase
+from repro.core.database import MergeReport, PackedDatabase, ReferenceDatabase
+from repro.core.sharding import (
+    ConsistentHashRing,
+    ProcessPoolShardExecutor,
+    SequentialShardExecutor,
+    ShardedReferenceDatabase,
+)
 from repro.core.detection import (
     DetectionConfig,
     IdentificationOutcome,
@@ -55,6 +61,7 @@ __all__ = [
     "ALL_PARAMETERS",
     "BinSpec",
     "CategoricalBins",
+    "ConsistentHashRing",
     "CurvePoint",
     "DetectionConfig",
     "EvaluationResult",
@@ -67,10 +74,14 @@ __all__ = [
     "JointBins",
     "JointParameter",
     "MediumAccessTime",
+    "MergeReport",
     "NetworkParameter",
     "Observation",
     "PackedDatabase",
+    "ProcessPoolShardExecutor",
     "ReferenceDatabase",
+    "SequentialShardExecutor",
+    "ShardedReferenceDatabase",
     "Signature",
     "SignatureBuilder",
     "SimilarityCurve",

@@ -23,7 +23,7 @@ path until the conflict is resolved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
@@ -32,6 +32,67 @@ from repro.dot11.capture import CapturedFrame
 from repro.dot11.mac import MacAddress
 from repro.core.signature import Signature, SignatureBuilder
 from repro.core.similarity import normalize_rows
+
+
+@dataclass
+class MergeReport:
+    """What :meth:`ReferenceDatabase.merge` did, device by device.
+
+    Conflicting devices — present in both databases — end up in
+    ``replaced`` (their signature was overwritten by the source, the
+    default policy) or ``skipped`` (kept, under ``on_conflict="keep"``);
+    the two are mutually exclusive per merge.
+    """
+
+    added: list[MacAddress] = field(default_factory=list)
+    replaced: list[MacAddress] = field(default_factory=list)
+    skipped: list[MacAddress] = field(default_factory=list)
+
+    @property
+    def conflicts(self) -> int:
+        """Number of devices present in both databases."""
+        return len(self.replaced) + len(self.skipped)
+
+    def __bool__(self) -> bool:
+        """True when the merge changed the target database."""
+        return bool(self.added or self.replaced)
+
+
+def merge_databases(target, source, on_conflict: str = "replace") -> MergeReport:
+    """Fold ``source``'s devices into ``target`` (shared merge body).
+
+    ``target`` needs only membership (``in``) and ``add``; ``source``
+    only ``items()`` — so this one implementation backs both
+    :meth:`ReferenceDatabase.merge` and
+    :meth:`~repro.core.sharding.ShardedReferenceDatabase.merge`.
+    Conflicting devices (present in both) follow ``on_conflict``:
+
+    * ``"replace"`` (default) — the source signature wins
+      (``report.replaced``);
+    * ``"keep"`` — the target's signature wins (``report.skipped``);
+    * ``"error"`` — raise ``ValueError`` before touching anything.
+    """
+    if on_conflict not in ("replace", "keep", "error"):
+        raise ValueError(f"unknown merge policy: {on_conflict!r}")
+    entries = source.items()
+    if on_conflict == "error":
+        conflicts = [device for device, _ in entries if device in target]
+        if conflicts:
+            raise ValueError(
+                f"merge conflicts for {len(conflicts)} device(s): "
+                f"{', '.join(str(device) for device in conflicts[:5])}"
+            )
+    report = MergeReport()
+    for device, signature in entries:
+        if device in target:
+            if on_conflict == "keep":
+                report.skipped.append(device)
+                continue
+            report.replaced.append(device)
+        else:
+            report.added.append(device)
+        target.add(device, signature)
+    return report
 
 
 @dataclass(frozen=True, eq=False)
@@ -146,6 +207,45 @@ class _PackBuffers:
         for device, signature in entries:
             if not buffers.set_row(device, signature, previous=None):
                 return None
+        return buffers
+
+    @classmethod
+    def adopt(
+        cls,
+        devices: list[MacAddress],
+        frequencies: dict[str, np.ndarray],
+        weights: dict[str, np.ndarray],
+        members: dict[str, int],
+    ) -> "_PackBuffers":
+        """Wrap already-packed matrices into live buffers.
+
+        The persistence layer restores a saved database through this:
+        the ``(N, bins)`` frequency matrices and ``(N,)`` weight vectors
+        come straight off disk, so rebuilding the incremental view costs
+        one vectorized row-normalisation per frame type instead of the
+        per-signature Python repack of :meth:`from_signatures`.  The
+        matrices are copied into growable buffers; callers keep
+        ownership of their arrays.
+        """
+        buffers = cls(capacity=max(8, len(devices)))
+        buffers.devices = list(devices)
+        buffers.row_of = {device: row for row, device in enumerate(devices)}
+        buffers.count = len(devices)
+        buffers.members = dict(members)
+        for ftype_key, matrix in frequencies.items():
+            bins = int(matrix.shape[-1])
+            buffers.bin_counts[ftype_key] = bins
+            frequency_buffer = np.zeros((buffers.capacity, bins), dtype=np.float64)
+            frequency_buffer[: buffers.count] = matrix
+            buffers.frequencies[ftype_key] = frequency_buffer
+            normalized_buffer = np.zeros((buffers.capacity, bins), dtype=np.float64)
+            normalized_buffer[: buffers.count] = normalize_rows(
+                frequency_buffer[: buffers.count]
+            )
+            buffers.normalized[ftype_key] = normalized_buffer
+            weight_buffer = np.zeros(buffers.capacity, dtype=np.float64)
+            weight_buffer[: buffers.count] = weights[ftype_key]
+            buffers.weights[ftype_key] = weight_buffer
         return buffers
 
     def _grow(self) -> None:
@@ -283,6 +383,23 @@ class ReferenceDatabase:
             database.add(sender, signature)
         return database
 
+    @classmethod
+    def _restore(
+        cls,
+        signatures: dict[MacAddress, Signature],
+        buffers: _PackBuffers | None,
+    ) -> "ReferenceDatabase":
+        """Rebuild a database around pre-packed buffers (persistence).
+
+        ``buffers`` must describe exactly ``signatures`` in its device
+        order (``None`` for ragged databases, which re-pack lazily via
+        the full rebuild on first :meth:`packed`).
+        """
+        database = cls()
+        database._signatures = dict(signatures)
+        database._buffers = buffers
+        return database
+
     def add(self, device: MacAddress, signature: Signature) -> None:
         """Register (or replace) one reference device's signature.
 
@@ -314,6 +431,18 @@ class ReferenceDatabase:
     def get(self, device: MacAddress) -> Signature | None:
         """Signature of one device, if known."""
         return self._signatures.get(device)
+
+    def merge(
+        self, source: "ReferenceDatabase", on_conflict: str = "replace"
+    ) -> MergeReport:
+        """Fold another database's devices into this one.
+
+        Conflict policy per :func:`merge_databases`.  Insertion order:
+        existing devices keep their rows, new devices append in the
+        source's order — so merging databases learnt from consecutive
+        captures behaves like learning them in sequence.
+        """
+        return merge_databases(self, source, on_conflict)
 
     def packed(self) -> PackedDatabase | None:
         """The cached matrix view (``None`` for empty/ragged databases).
@@ -347,11 +476,16 @@ class ReferenceDatabase:
     def __iter__(self) -> Iterator[MacAddress]:
         return iter(self._signatures)
 
-    def items(self) -> Iterator[tuple[MacAddress, Signature]]:
-        """(device, signature) pairs in insertion order."""
-        return iter(self._signatures.items())
+    def items(self) -> list[tuple[MacAddress, Signature]]:
+        """(device, signature) pairs in insertion order.
+
+        Returns a snapshot list, so callers may :meth:`add`/:meth:`remove`
+        while iterating — the mutation-during-iteration hazard the
+        sharded rebalancing path would otherwise hit.
+        """
+        return list(self._signatures.items())
 
     @property
     def devices(self) -> list[MacAddress]:
-        """All reference devices."""
+        """All reference devices (a snapshot, safe to mutate against)."""
         return list(self._signatures)

@@ -61,9 +61,16 @@ from repro.core.similarity import (
 
 
 def _cosine_scores(candidate: Signature, packed: PackedDatabase) -> np.ndarray:
-    """The matrix formulation for one candidate: ``Σ_f w_f ⊙ clip(R̂_f ĉ_f)``."""
+    """The matrix formulation for one candidate: ``Σ_f w_f ⊙ clip(R̂_f ĉ_f)``.
+
+    Frame types accumulate in sorted order, so the floating-point sum
+    is independent of signature/database construction order — the
+    canonical-order guarantee the sharded engine's per-shard fan-out
+    relies on (DESIGN.md §5).
+    """
     totals = np.zeros(len(packed.devices), dtype=np.float64)
-    for ftype_key, candidate_hist in candidate.histograms.items():
+    for ftype_key in sorted(candidate.histograms):
+        candidate_hist = candidate.histograms[ftype_key]
         references = packed.normalized.get(ftype_key)
         if references is None:
             continue  # no reference exhibits this type: contributes 0
@@ -100,8 +107,12 @@ def match_signature(
     """Run Algorithm 1; returns per-reference combined similarities.
 
     Uses the packed matrix fast path for the cosine measure and the
-    scalar loop otherwise; both yield the same numbers.
+    scalar loop otherwise; both yield the same numbers.  A
+    :class:`~repro.core.sharding.ShardedReferenceDatabase` is accepted
+    transparently — the call fans out per shard and merges.
     """
+    if getattr(database, "is_sharded", False):
+        return database.match(candidate, measure)
     packed = database.packed() if measure is cosine_similarity else None
     if packed is None:
         return _scalar_match(candidate, database, measure)
@@ -120,8 +131,14 @@ def batch_match_signatures(
     whose row ``i`` equals ``match_signature(candidates[i], database,
     measure)`` values in database insertion order (``database.devices``).
     For the cosine measure this is one matrix–matrix product per frame
-    type; other measures fall back to the scalar loop per row.
+    type (accumulated in sorted frame-type order, so the float sum does
+    not depend on database construction order); other measures fall
+    back to the scalar loop per row.  A
+    :class:`~repro.core.sharding.ShardedReferenceDatabase` is accepted
+    transparently — the call fans out per shard and merges columns.
     """
+    if getattr(database, "is_sharded", False):
+        return database.batch_match(candidates, measure)
     packed = database.packed() if measure is cosine_similarity else None
     if packed is None:
         return np.array(
@@ -132,7 +149,8 @@ def batch_match_signatures(
             dtype=np.float64,
         ).reshape(len(candidates), len(database))
     totals = np.zeros((len(candidates), len(packed.devices)), dtype=np.float64)
-    for ftype_key, references in packed.normalized.items():
+    for ftype_key in sorted(packed.normalized):
+        references = packed.normalized[ftype_key]
         rows = [
             row
             for row, candidate in enumerate(candidates)

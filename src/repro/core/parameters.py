@@ -104,6 +104,19 @@ class ObservationStream:
         self._previous = frame
         return produced
 
+    def export_state(self) -> dict:
+        """Checkpointable state (see :mod:`repro.persistence.checkpoint`).
+
+        The generic stream's whole memory is its predecessor frame;
+        the checkpoint layer knows how to serialise a
+        :class:`~repro.dot11.capture.CapturedFrame` it finds in here.
+        """
+        return {"previous_frame": self._previous}
+
+    def restore_state(self, state: dict) -> None:
+        """Re-arm the stream from :meth:`export_state` output."""
+        self._previous = state.get("previous_frame")
+
 
 class _PerFrameStream(ObservationStream):
     """O(1) stream for values that are pure functions of one frame."""
@@ -121,6 +134,12 @@ class _PerFrameStream(ObservationStream):
         if sender is None:
             return ()
         return (Observation(sender, frame.ftype_key, self._value(frame)),)
+
+    def export_state(self) -> dict:
+        return {}  # pure per-frame function: nothing to remember
+
+    def restore_state(self, state: dict) -> None:
+        pass
 
 
 class _ChannelClockStream(ObservationStream):
@@ -152,6 +171,12 @@ class _ChannelClockStream(ObservationStream):
                 frame.sender, frame.ftype_key, self._value(frame, previous_t)
             ),
         )
+
+    def export_state(self) -> dict:
+        return {"previous_t": self._previous_t}  # the channel clock
+
+    def restore_state(self, state: dict) -> None:
+        self._previous_t = state.get("previous_t")
 
 
 class TransmissionRate(NetworkParameter):

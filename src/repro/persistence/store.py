@@ -1,0 +1,272 @@
+"""Versioned on-disk format for reference databases (DESIGN.md §5).
+
+A saved database is a directory of three files:
+
+* ``meta.json`` — format name, version, layout, the network parameter
+  the signatures were built from, and the frame-type table (names and
+  bin counts, in pack order);
+* ``matrices.npz`` — the packed matrices: the device list as one
+  ``uint64`` array plus, per frame type ``j``, the ``(N, bins)``
+  float64 frequency matrix ``freq_j`` and the ``(N,)`` weight vector
+  ``weight_j`` — exactly the arrays the matching engine multiplies, so
+  a loaded database reproduces match scores bit for bit;
+* ``devices.jsonl`` — one JSON object per device, in insertion order:
+  MAC, the frame types the device exhibits (presence is *not*
+  derivable from the matrices — an all-zero row is a legal histogram),
+  and its observation counts.
+
+Databases whose signatures disagree on a frame type's bin count cannot
+be packed into rectangular matrices; they are stored in the ``ragged``
+layout instead (per-device histogram arrays ``sig_{i}_{j}``, weights
+in the sidecar) and re-pack lazily on first use.
+
+Loading a packed layout calls
+:meth:`~repro.core.database._PackBuffers.adopt` with the matrices
+straight off disk: the incremental packed view is restored with one
+vectorized row-normalisation per frame type instead of the
+per-signature Python repack, and the signature histograms are views
+into the same loaded arrays (no duplication).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.dot11.mac import MacAddress
+from repro.core.database import ReferenceDatabase, _PackBuffers
+from repro.core.signature import Signature
+
+#: On-disk format identifier and current version.
+FORMAT_NAME = "repro-refdb"
+FORMAT_VERSION = 1
+
+_META_FILE = "meta.json"
+_MATRICES_FILE = "matrices.npz"
+_DEVICES_FILE = "devices.jsonl"
+
+
+@dataclass(frozen=True)
+class LoadedDatabase:
+    """What :func:`load_database` returns."""
+
+    database: ReferenceDatabase
+    #: Network parameter the signatures were built from (``None`` when
+    #: the saver did not record one).
+    parameter: str | None
+    version: int
+    layout: str
+    path: Path
+
+
+def save_database(
+    database: ReferenceDatabase,
+    path: str | Path,
+    parameter: str | None = None,
+) -> Path:
+    """Persist a reference database to a store directory.
+
+    ``parameter`` records which network parameter the signatures were
+    built from, so tools can re-create the right
+    :class:`~repro.core.signature.SignatureBuilder` at load time.
+    Returns the store path.
+    """
+    store = Path(path)
+    store.mkdir(parents=True, exist_ok=True)
+    entries = database.items()
+    packed = database.packed()
+    arrays: dict[str, np.ndarray] = {
+        "devices": np.array(
+            [device.value for device, _ in entries], dtype=np.uint64
+        )
+    }
+    if packed is not None:
+        layout = "packed"
+        frame_types = list(packed.frame_types)
+        bin_counts = {
+            ftype: int(packed.frequencies[ftype].shape[-1]) for ftype in frame_types
+        }
+        for j, ftype in enumerate(frame_types):
+            arrays[f"freq_{j}"] = packed.frequencies[ftype]
+            arrays[f"weight_{j}"] = packed.weights[ftype]
+    elif entries:
+        layout = "ragged"
+        frame_types = []
+        seen: set[str] = set()
+        for _, signature in entries:
+            for ftype in signature.histograms:
+                if ftype not in seen:
+                    seen.add(ftype)
+                    frame_types.append(ftype)
+        bin_counts = {}
+        for i, (_, signature) in enumerate(entries):
+            for j, ftype in enumerate(signature.histograms):
+                arrays[f"sig_{i}_{j}"] = np.asarray(
+                    signature.histograms[ftype], dtype=np.float64
+                )
+    else:
+        layout = "packed"
+        frame_types = []
+        bin_counts = {}
+
+    with open(store / _MATRICES_FILE, "wb") as handle:
+        np.savez(handle, **arrays)
+
+    with open(store / _DEVICES_FILE, "w") as handle:
+        for i, (device, signature) in enumerate(entries):
+            line: dict = {
+                "index": i,
+                "mac": str(device),
+                "frame_types": list(signature.histograms),
+                "observation_counts": dict(signature.observation_counts),
+            }
+            if layout == "ragged":
+                line["weights"] = dict(signature.weights)
+            handle.write(json.dumps(line, sort_keys=True))
+            handle.write("\n")
+
+    meta = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "layout": layout,
+        "parameter": parameter,
+        "device_count": len(entries),
+        "frame_types": frame_types,
+        "bin_counts": bin_counts,
+    }
+    (store / _META_FILE).write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+    return store
+
+
+def _read_meta(store: Path) -> dict:
+    meta_path = store / _META_FILE
+    if not meta_path.is_file():
+        raise FileNotFoundError(f"not a reference database store: {store}")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("format") != FORMAT_NAME:
+        raise ValueError(f"unknown store format {meta.get('format')!r} at {store}")
+    version = int(meta.get("version", 0))
+    if not 1 <= version <= FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported store version {version} at {store} "
+            f"(this build reads versions 1..{FORMAT_VERSION})"
+        )
+    return meta
+
+
+def _read_sidecar(store: Path, expected: int) -> list[dict]:
+    lines = [
+        json.loads(line)
+        for line in (store / _DEVICES_FILE).read_text().splitlines()
+        if line.strip()
+    ]
+    if len(lines) != expected:
+        raise ValueError(
+            f"device sidecar lists {len(lines)} devices, meta says {expected}"
+        )
+    return lines
+
+
+def is_database_store(path: str | Path) -> bool:
+    """True when ``path`` looks like a saved reference database."""
+    return (Path(path) / _META_FILE).is_file()
+
+
+def load_database(path: str | Path) -> LoadedDatabase:
+    """Load a saved reference database, packed view included.
+
+    The restored database matches the saved one bin for bin — match
+    scores against it are bitwise identical (the matrices are the same
+    float64 values, multiplied in the same shapes).
+    """
+    store = Path(path)
+    meta = _read_meta(store)
+    sidecar = _read_sidecar(store, int(meta["device_count"]))
+    with np.load(store / _MATRICES_FILE) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+
+    devices = [MacAddress(int(value)) for value in arrays["devices"]]
+    for line, device in zip(sidecar, devices):
+        if MacAddress.parse(line["mac"]) != device:
+            raise ValueError(
+                f"sidecar/matrix device mismatch at index {line['index']}: "
+                f"{line['mac']} vs {device}"
+            )
+
+    frame_types: list[str] = list(meta["frame_types"])
+    signatures: dict[MacAddress, Signature] = {}
+    buffers: _PackBuffers | None = None
+    if meta["layout"] == "packed":
+        frequencies = {
+            ftype: arrays[f"freq_{j}"] for j, ftype in enumerate(frame_types)
+        }
+        weights = {
+            ftype: arrays[f"weight_{j}"] for j, ftype in enumerate(frame_types)
+        }
+        members = {ftype: 0 for ftype in frame_types}
+        for i, (line, device) in enumerate(zip(sidecar, devices)):
+            histograms = {}
+            device_weights = {}
+            for ftype in line["frame_types"]:
+                histograms[ftype] = frequencies[ftype][i]
+                device_weights[ftype] = float(weights[ftype][i])
+                members[ftype] += 1
+            signatures[device] = Signature(
+                histograms=histograms,
+                weights=device_weights,
+                observation_counts={
+                    ftype: int(count)
+                    for ftype, count in line["observation_counts"].items()
+                },
+            )
+        members = {ftype: count for ftype, count in members.items() if count}
+        frequencies = {f: m for f, m in frequencies.items() if f in members}
+        weights = {f: v for f, v in weights.items() if f in members}
+        if devices:
+            buffers = _PackBuffers.adopt(devices, frequencies, weights, members)
+    elif meta["layout"] == "ragged":
+        for i, (line, device) in enumerate(zip(sidecar, devices)):
+            histograms = {
+                ftype: arrays[f"sig_{i}_{j}"]
+                for j, ftype in enumerate(line["frame_types"])
+            }
+            signatures[device] = Signature(
+                histograms=histograms,
+                weights={
+                    ftype: float(weight) for ftype, weight in line["weights"].items()
+                },
+                observation_counts={
+                    ftype: int(count)
+                    for ftype, count in line["observation_counts"].items()
+                },
+            )
+    else:
+        raise ValueError(f"unknown store layout {meta['layout']!r} at {store}")
+
+    database = ReferenceDatabase._restore(signatures, buffers)
+    return LoadedDatabase(
+        database=database,
+        parameter=meta.get("parameter"),
+        version=int(meta["version"]),
+        layout=meta["layout"],
+        path=store,
+    )
+
+
+def database_info(path: str | Path) -> dict:
+    """Store metadata plus on-disk sizes, without loading matrices."""
+    store = Path(path)
+    meta = _read_meta(store)
+    sizes = {
+        name: (store / name).stat().st_size
+        for name in (_META_FILE, _MATRICES_FILE, _DEVICES_FILE)
+        if (store / name).is_file()
+    }
+    info = dict(meta)
+    info["path"] = str(store)
+    info["bytes"] = sizes
+    info["total_bytes"] = sum(sizes.values())
+    return info

@@ -206,6 +206,74 @@ class StreamingSignatureBuilder:
                 out[device] = signature
         return out
 
+    # -- checkpointing -------------------------------------------------
+    def export_state(self) -> dict:
+        """Everything needed to resume this builder mid-capture.
+
+        The returned structure is JSON-shaped except for the extractor
+        state, which may embed a
+        :class:`~repro.dot11.capture.CapturedFrame`; the checkpoint
+        layer (:mod:`repro.persistence.checkpoint`) serialises that.
+        """
+        return {
+            "parameter": self.parameter.name,
+            "bin_count": self._bin_count,
+            "min_observations": self.min_observations,
+            "decay_half_life_s": self.decay_half_life_s,
+            "frames_seen": self.frames_seen,
+            "observations_kept": self.observations_kept,
+            "stream": self._stream.export_state(),
+            "devices": [
+                {
+                    "mac": device.value,
+                    "t0_us": state.t0_us,
+                    "last_seen_us": state.last_seen_us,
+                    "counts": {
+                        ftype: list(counts) for ftype, counts in state.counts.items()
+                    },
+                    "totals": dict(state.totals),
+                }
+                for device, state in self._devices.items()
+            ],
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Resume from :meth:`export_state` output.
+
+        The builder must have been constructed with the same parameter,
+        binning and gating configuration the snapshot was taken under —
+        a mismatch raises ``ValueError`` instead of silently mixing
+        incompatible histograms.
+        """
+        for key, mine in (
+            ("parameter", self.parameter.name),
+            ("bin_count", self._bin_count),
+            ("min_observations", self.min_observations),
+            ("decay_half_life_s", self.decay_half_life_s),
+        ):
+            theirs = payload.get(key)
+            if theirs != mine:
+                raise ValueError(
+                    f"checkpoint {key} mismatch: snapshot has {theirs!r}, "
+                    f"this builder has {mine!r}"
+                )
+        self._stream.restore_state(payload.get("stream", {}))
+        self.frames_seen = int(payload["frames_seen"])
+        self.observations_kept = int(payload["observations_kept"])
+        self._devices = {}
+        for entry in payload["devices"]:
+            state = _DeviceState(float(entry["t0_us"]))
+            state.last_seen_us = float(entry["last_seen_us"])
+            state.counts = {
+                ftype: [float(value) for value in counts]
+                for ftype, counts in entry["counts"].items()
+            }
+            state.totals = {
+                ftype: float(total) for ftype, total in entry["totals"].items()
+            }
+            self._devices[MacAddress(int(entry["mac"]))] = state
+        return None
+
     # -- residency -----------------------------------------------------
     @property
     def resident_count(self) -> int:

@@ -102,6 +102,34 @@ class StreamEngine:
         """The live matcher (``None`` when running without a database)."""
         return self._matcher
 
+    # -- checkpointing -------------------------------------------------
+    def checkpoint(self, path) -> "object":
+        """Snapshot the engine's resumable state to a file.
+
+        Captures the stream counters and every open window's builder
+        accumulators (histograms, channel clock), so a later engine can
+        :meth:`restore` and continue the capture as if never stopped.
+        The reference database and analyzer state are *not* included —
+        persist the database with :mod:`repro.persistence.store` and
+        re-attach analyzers at construction (DESIGN.md §5).  Returns
+        the written path.
+        """
+        from repro.persistence.checkpoint import save_checkpoint
+
+        return save_checkpoint(self, path)
+
+    def restore(self, path) -> None:
+        """Resume from a :meth:`checkpoint` file.
+
+        Call on a freshly constructed engine with the same builder
+        factory and window configuration; feeding it the remaining
+        frames then produces exactly the events an uninterrupted run
+        would have emitted.
+        """
+        from repro.persistence.checkpoint import load_checkpoint
+
+        load_checkpoint(self, path)
+
     # -- ingest --------------------------------------------------------
     def process_frame(self, frame: CapturedFrame) -> None:
         """Consume one frame, emitting any events it triggers."""

@@ -190,6 +190,69 @@ class WindowManager:
             )
             self._next_index += 1
 
+    # -- checkpointing -------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the windowing state (open builders included)."""
+        return {
+            "config": {
+                "window_s": self.config.window_s,
+                "slide_s": self.config.slide_s,
+                "idle_timeout_s": self.config.idle_timeout_s,
+            },
+            "origin_us": self._origin_us,
+            "next_index": self._next_index,
+            "frames_since_sweep": self._frames_since_sweep,
+            "open": [
+                {
+                    "index": window.index,
+                    "start_us": window.start_us,
+                    "end_us": window.end_us,
+                    "frame_count": window.frame_count,
+                    "senders": sorted(sender.value for sender in window.senders),
+                    "evicted": [device.value for device in window.evicted],
+                    "builder": window.builder.export_state(),
+                }
+                for window in self._windows
+            ],
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Resume from :meth:`export_state` output.
+
+        The manager must have been constructed with the same
+        :class:`WindowConfig` the snapshot was taken under; each open
+        window gets a fresh builder from the factory, re-armed with the
+        snapshot's accumulators.
+        """
+        config = payload.get("config", {})
+        mine = {
+            "window_s": self.config.window_s,
+            "slide_s": self.config.slide_s,
+            "idle_timeout_s": self.config.idle_timeout_s,
+        }
+        if config != mine:
+            raise ValueError(
+                f"checkpoint window config mismatch: snapshot has {config}, "
+                f"this manager has {mine}"
+            )
+        origin = payload.get("origin_us")
+        self._origin_us = None if origin is None else float(origin)
+        self._next_index = int(payload["next_index"])
+        self._frames_since_sweep = int(payload.get("frames_since_sweep", 0))
+        self._windows = []
+        for entry in payload["open"]:
+            window = _OpenWindow(
+                index=int(entry["index"]),
+                start_us=float(entry["start_us"]),
+                end_us=float(entry["end_us"]),
+                builder=self._builder_factory(),
+            )
+            window.frame_count = int(entry["frame_count"])
+            window.senders = {MacAddress(int(value)) for value in entry["senders"]}
+            window.evicted = [MacAddress(int(value)) for value in entry["evicted"]]
+            window.builder.restore_state(entry["builder"])
+            self._windows.append(window)
+
     # ------------------------------------------------------------------
     @property
     def open_windows(self) -> int:

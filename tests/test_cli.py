@@ -168,3 +168,138 @@ class TestCommands:
         assert args.command == "stream"
         assert args.window_s == 300.0 and args.slide_s is None
         assert not args.spoof_guard and not args.track
+        assert args.checkpoint is None and args.resume is None
+
+
+class TestDbCommands:
+    @pytest.fixture()
+    def store(self, tmp_path, office_pcap, capsys):
+        path = tmp_path / "store"
+        assert main(
+            ["db", "save", str(office_pcap), str(path), "--min-observations", "30"]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_db_save_creates_versioned_store(self, store, capsys):
+        assert (store / "meta.json").is_file()
+        assert (store / "matrices.npz").is_file()
+        assert (store / "devices.jsonl").is_file()
+
+    def test_db_info(self, store, capsys):
+        assert main(["db", "info", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "repro-refdb v1" in out
+        assert "parameter: interarrival" in out
+
+    def test_db_load_lists_devices_and_exports_json(self, store, tmp_path, capsys):
+        legacy = tmp_path / "legacy.json"
+        assert main(["db", "load", str(store), "--json", str(legacy)]) == 0
+        out = capsys.readouterr().out
+        assert "devices" in out and "observations" in out
+        payload = json.loads(legacy.read_text())
+        assert payload["parameter"] == "interarrival" and payload["devices"]
+
+    def test_db_merge_reports_conflicts(self, store, tmp_path, capsys):
+        merged = tmp_path / "merged"
+        assert main(
+            ["db", "merge", str(store), str(store), "--out", str(merged)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "replaced" in out and "merged" in out
+        assert main(["db", "info", str(merged)]) == 0
+
+    def test_match_accepts_store_directory(self, store, office_pcap, capsys):
+        assert main(
+            ["match", str(office_pcap), "--db", str(store), "--window-s", "30"]
+        ) == 0
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_stream_accepts_store_directory(self, store, office_pcap, capsys):
+        assert main(
+            [
+                "stream",
+                str(office_pcap),
+                "--db",
+                str(store),
+                "--window-s",
+                "30",
+                "--min-observations",
+                "30",
+            ]
+        ) == 0
+        assert "streamed" in capsys.readouterr().out
+
+
+class TestStreamCheckpointCli:
+    def test_checkpoint_then_resume(self, tmp_path, office_pcap, capsys):
+        store = tmp_path / "store"
+        assert main(
+            ["db", "save", str(office_pcap), str(store), "--min-observations", "30"]
+        ) == 0
+        checkpoint = tmp_path / "ck.json"
+        assert main(
+            [
+                "stream",
+                str(office_pcap),
+                "--db",
+                str(store),
+                "--window-s",
+                "30",
+                "--min-observations",
+                "30",
+                "--checkpoint",
+                str(checkpoint),
+                "--checkpoint-every-s",
+                "20",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint ->" in out
+        assert checkpoint.is_file()
+        assert main(
+            [
+                "stream",
+                str(office_pcap),
+                "--db",
+                str(store),
+                "--window-s",
+                "30",
+                "--min-observations",
+                "30",
+                "--resume",
+                str(checkpoint),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+
+    def test_resume_on_same_capture_skips_processed_frames(
+        self, tmp_path, office_pcap, small_office_trace, capsys
+    ):
+        """Crash recovery: resuming against the original pcap must not
+        re-feed the already-processed prefix into the restored windows."""
+        store = tmp_path / "store"
+        assert main(
+            ["db", "save", str(office_pcap), str(store), "--min-observations", "30"]
+        ) == 0
+        checkpoint = tmp_path / "ck.json"
+        args = [
+            "stream",
+            str(office_pcap),
+            "--db",
+            str(store),
+            "--window-s",
+            "30",
+            "--min-observations",
+            "30",
+        ]
+        assert main(args + ["--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume", str(checkpoint)]) == 0
+        out = capsys.readouterr().out
+        total = len(small_office_trace.frames)
+        # The whole capture was already consumed before the snapshot,
+        # so the resumed run skips it all: the frame count must stay at
+        # the original total instead of doubling.
+        assert f"streamed {total} frames" in out

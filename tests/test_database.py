@@ -9,6 +9,7 @@ sequence, including frame-type purges and ragged transitions.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.dot11.mac import vendor_mac
 from repro.core.database import PackedDatabase, ReferenceDatabase
@@ -19,9 +20,12 @@ from tests.test_batch_matching import random_database, random_signature
 def assert_pack_equivalent(database: ReferenceDatabase) -> None:
     """The live pack must equal a full rebuild from the signatures."""
     incremental = database.packed()
+    if len(database) == 0:
+        assert incremental is None  # empty databases never pack
+        return
     rebuilt = PackedDatabase.from_signatures(list(database.items()))
     if rebuilt is None:
-        assert incremental is None or len(database) == 0
+        assert incremental is None
         return
     assert incremental is not None
     assert incremental.devices == rebuilt.devices
@@ -138,6 +142,112 @@ class TestIncrementalPack:
         assert database.packed() is None
         database.add(device, one_type_signature("Data", 4))
         assert database.packed() is not None
+
+
+class TestSnapshotIteration:
+    """``devices``/``items()`` snapshot, so mutation mid-iteration is safe."""
+
+    def test_items_allows_mutation_while_iterating(self):
+        rng = np.random.default_rng(16)
+        database = random_database(rng, devices=10)
+        seen = []
+        for device, signature in database.items():
+            seen.append(device)
+            database.remove(device)  # would blow up on a live dict view
+            database.add(vendor_mac("00:18:f8", len(seen)), signature)
+        assert len(seen) == 10
+
+    def test_devices_allows_mutation_while_iterating(self):
+        rng = np.random.default_rng(17)
+        database = random_database(rng, devices=8)
+        for device in database.devices:
+            database.remove(device)
+        assert len(database) == 0
+
+    def test_items_returns_insertion_ordered_list(self):
+        rng = np.random.default_rng(18)
+        database = random_database(rng, devices=5)
+        items = database.items()
+        assert isinstance(items, list)
+        assert [device for device, _ in items] == database.devices
+
+
+class TestMerge:
+    def test_replace_policy_reports_conflicts(self):
+        rng = np.random.default_rng(19)
+        target = random_database(rng, devices=6)
+        source = ReferenceDatabase()
+        conflicting = target.devices[2]
+        fresh = vendor_mac("00:18:f8", 50)
+        replacement = random_signature(rng)
+        source.add(conflicting, replacement)
+        source.add(fresh, random_signature(rng))
+        report = target.merge(source)
+        assert report.added == [fresh]
+        assert report.replaced == [conflicting]
+        assert report.skipped == []
+        assert report.conflicts == 1 and bool(report)
+        assert target.get(conflicting) is replacement
+        assert target.devices.index(conflicting) == 2  # row position kept
+        assert target.devices[-1] == fresh
+        assert_pack_equivalent(target)
+
+    def test_keep_policy_preserves_existing_signatures(self):
+        rng = np.random.default_rng(20)
+        target = random_database(rng, devices=4)
+        kept = target.get(target.devices[0])
+        source = ReferenceDatabase()
+        source.add(target.devices[0], random_signature(rng))
+        report = target.merge(source, on_conflict="keep")
+        assert report.skipped == [target.devices[0]]
+        assert not report.added and not report.replaced
+        assert not bool(report)  # nothing changed
+        assert target.get(target.devices[0]) is kept
+
+    def test_error_policy_raises_before_mutating(self):
+        rng = np.random.default_rng(21)
+        target = random_database(rng, devices=4)
+        before = {device: target.get(device) for device in target.devices}
+        source = ReferenceDatabase()
+        source.add(vendor_mac("00:18:f8", 60), random_signature(rng))
+        source.add(target.devices[1], random_signature(rng))
+        with pytest.raises(ValueError, match="conflict"):
+            target.merge(source, on_conflict="error")
+        assert {device: target.get(device) for device in target.devices} == before
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            ReferenceDatabase().merge(ReferenceDatabase(), on_conflict="bogus")
+
+    def test_merge_of_disjoint_databases_concatenates(self):
+        rng = np.random.default_rng(22)
+        target = random_database(rng, devices=3)
+        source = ReferenceDatabase()
+        extras = [vendor_mac("00:18:f8", i + 1) for i in range(3)]
+        for device in extras:
+            source.add(device, random_signature(rng))
+        report = target.merge(source)
+        assert report.added == extras and not report.conflicts
+        assert target.devices[-3:] == extras
+        assert_pack_equivalent(target)
+
+    def test_merge_keeps_scores_equal_to_sequential_adds(self):
+        from repro.core.matcher import batch_match_signatures
+
+        rng = np.random.default_rng(23)
+        a = random_database(rng, devices=5)
+        b = random_database(rng, devices=5)
+        merged = ReferenceDatabase()
+        merged.merge(a)
+        merged.merge(b)
+        sequential = ReferenceDatabase()
+        for device, signature in a.items() + b.items():
+            sequential.add(device, signature)
+        candidate = random_signature(rng)
+        assert np.array_equal(
+            batch_match_signatures([candidate], merged),
+            batch_match_signatures([candidate], sequential),
+        )
 
 
 class TestMatchingAfterMutations:

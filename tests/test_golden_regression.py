@@ -1,0 +1,83 @@
+"""Golden-file regression for the end-to-end evaluation numbers.
+
+``evaluate_trace`` is the measurement the whole reproduction hangs off
+(Tables II/III); engine refactors — vectorisation, sharding,
+persistence — must not drift its outputs.  This test pins AUC and
+identification ratios for all five parameters on the fixed-seed
+90-second office scenario against ``tests/golden/evaluate_small_office.json``.
+
+The numbers are pure float64 pipeline outputs on a deterministic
+simulation, so they are compared near-exactly (atol 1e-9 absorbs at
+most summation-order noise from a legitimate refactor of the score
+accumulation).  If a *deliberate* semantic change moves them, regenerate
+the golden file:
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.detection import DetectionConfig
+from repro.core.parameters import ALL_PARAMETERS
+from repro.core.pipeline import evaluate_trace
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "evaluate_small_office.json"
+
+
+def compute_results(trace) -> dict:
+    config = DetectionConfig(window_s=15.0, min_observations=30)
+    results = {}
+    for parameter in ALL_PARAMETERS:
+        outcome = evaluate_trace(trace, parameter, 45.0, config)
+        results[parameter.name] = {
+            "reference_devices": outcome.reference_devices,
+            "known_candidates": outcome.identification.known_candidates,
+            "total_candidates": outcome.identification.total_candidates,
+            "auc": outcome.auc,
+            "identification_at_0.01": outcome.identification_at(0.01),
+            "identification_at_0.1": outcome.identification_at(0.1),
+        }
+    return results
+
+
+def test_evaluation_matches_golden_file(small_office_trace):
+    results = compute_results(small_office_trace)
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        payload = {
+            "trace": "small-office",
+            "training_s": 45.0,
+            "window_s": 15.0,
+            "min_observations": 30,
+            "parameters": results,
+        }
+        GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden file regenerated at {GOLDEN_PATH}")
+    golden = json.loads(GOLDEN_PATH.read_text())["parameters"]
+    assert set(results) == set(golden), "parameter set drifted"
+    for name, expected in golden.items():
+        got = results[name]
+        for key in ("reference_devices", "known_candidates", "total_candidates"):
+            assert got[key] == expected[key], (
+                f"{name}.{key}: {got[key]} != golden {expected[key]}"
+            )
+        for key in ("auc", "identification_at_0.01", "identification_at_0.1"):
+            assert got[key] == pytest.approx(expected[key], abs=1e-9), (
+                f"{name}.{key}: {got[key]!r} drifted from golden {expected[key]!r}"
+            )
+
+
+def test_golden_file_is_discriminative():
+    """Guard against a regenerated-but-degenerate golden file: the
+    pinned scenario must actually separate devices (AUC well above
+    chance for every parameter)."""
+    golden = json.loads(GOLDEN_PATH.read_text())["parameters"]
+    assert len(golden) == 5
+    for name, expected in golden.items():
+        assert expected["auc"] > 0.85, f"{name} golden AUC suspiciously low"
+        assert expected["reference_devices"] >= 3

@@ -1,0 +1,315 @@
+"""Tests for the on-disk database store and streaming checkpoints.
+
+The two persistence contracts (DESIGN.md §5):
+
+* ``load(save(db))`` restores the database bin for bin, the packed
+  view equals a from-scratch rebuild, and match scores against the
+  loaded database are **bitwise identical** (atol 0) — same float64
+  matrices, same shapes, same products;
+* a :class:`~repro.streaming.engine.StreamEngine` restored from a
+  checkpoint and fed the remaining frames emits exactly the events an
+  uninterrupted run produces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dot11.mac import vendor_mac
+from repro.core.database import PackedDatabase, ReferenceDatabase
+from repro.core.matcher import batch_match_signatures
+from repro.core.sharding import ShardedReferenceDatabase
+from repro.core.parameters import InterArrivalTime, MediumAccessTime, ObservationStream
+from repro.core.signature import Signature, SignatureBuilder
+from repro.persistence import (
+    database_info,
+    load_database,
+    save_database,
+)
+from repro.persistence.store import is_database_store
+from repro.streaming import (
+    CollectingSink,
+    StreamEngine,
+    StreamingSignatureBuilder,
+    WindowConfig,
+)
+from tests.test_batch_matching import random_database, random_signature
+from tests.test_database import assert_pack_equivalent
+
+
+def assert_databases_equal(a: ReferenceDatabase, b: ReferenceDatabase) -> None:
+    """Bin-for-bin equality, including device and frame-type structure."""
+    assert a.devices == b.devices
+    for (device_a, sig_a), (device_b, sig_b) in zip(a.items(), b.items()):
+        assert device_a == device_b
+        assert list(sig_a.histograms) == list(sig_b.histograms)
+        for ftype in sig_a.histograms:
+            assert np.array_equal(sig_a.histograms[ftype], sig_b.histograms[ftype])
+        assert sig_a.weights == sig_b.weights
+        assert sig_a.observation_counts == sig_b.observation_counts
+
+
+class TestStoreRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        rng = np.random.default_rng(50)
+        database = random_database(rng, devices=30)
+        save_database(database, tmp_path / "store", parameter="interarrival")
+        loaded = load_database(tmp_path / "store")
+        assert loaded.parameter == "interarrival"
+        assert loaded.layout == "packed"
+        assert_databases_equal(database, loaded.database)
+
+    def test_match_scores_bitwise_identical(self, tmp_path):
+        rng = np.random.default_rng(51)
+        database = random_database(rng, devices=40)
+        candidates = [random_signature(rng) for _ in range(20)]
+        reference = batch_match_signatures(candidates, database)
+        save_database(database, tmp_path / "store")
+        loaded = load_database(tmp_path / "store").database
+        assert np.array_equal(
+            batch_match_signatures(candidates, loaded), reference
+        )  # atol 0, bit for bit
+
+    def test_loaded_pack_equals_fresh_rebuild_without_repack(self, tmp_path):
+        rng = np.random.default_rng(52)
+        database = random_database(rng, devices=25)
+        save_database(database, tmp_path / "store")
+        loaded = load_database(tmp_path / "store").database
+        packed = loaded.packed()
+        rebuilt = PackedDatabase.from_signatures(loaded.items())
+        assert packed.devices == rebuilt.devices
+        assert packed.frame_types == rebuilt.frame_types  # order preserved
+        for ftype in rebuilt.frame_types:
+            assert np.array_equal(packed.frequencies[ftype], rebuilt.frequencies[ftype])
+            assert np.array_equal(packed.weights[ftype], rebuilt.weights[ftype])
+            assert np.array_equal(packed.normalized[ftype], rebuilt.normalized[ftype])
+
+    def test_loaded_database_stays_mutable_and_consistent(self, tmp_path):
+        rng = np.random.default_rng(53)
+        database = random_database(rng, devices=12)
+        save_database(database, tmp_path / "store")
+        loaded = load_database(tmp_path / "store").database
+        loaded.add(vendor_mac("00:18:f8", 99), random_signature(rng))
+        loaded.remove(loaded.devices[0])
+        loaded.add(loaded.devices[1], random_signature(rng))
+        assert_pack_equivalent(loaded)
+
+    def test_empty_database(self, tmp_path):
+        save_database(ReferenceDatabase(), tmp_path / "store")
+        loaded = load_database(tmp_path / "store")
+        assert len(loaded.database) == 0
+        assert loaded.database.packed() is None
+
+    def test_ragged_database_round_trips(self, tmp_path):
+        database = ReferenceDatabase()
+        narrow, wide = np.zeros(4), np.zeros(9)
+        narrow[1] = 1.0
+        wide[5] = 1.0
+        database.add(
+            vendor_mac("00:13:e8", 1),
+            Signature({"Data": narrow}, {"Data": 1.0}, {"Data": 60}),
+        )
+        database.add(
+            vendor_mac("00:13:e8", 2),
+            Signature({"Data": wide}, {"Data": 1.0}, {"Data": 70}),
+        )
+        assert database.packed() is None
+        save_database(database, tmp_path / "store")
+        loaded = load_database(tmp_path / "store")
+        assert loaded.layout == "ragged"
+        assert_databases_equal(database, loaded.database)
+        assert loaded.database.packed() is None
+
+    def test_signature_without_observation_counts(self, tmp_path):
+        database = ReferenceDatabase()
+        histogram = np.zeros(5)
+        histogram[0] = 1.0
+        database.add(
+            vendor_mac("00:13:e8", 1), Signature({"Data": histogram}, {"Data": 1.0})
+        )
+        save_database(database, tmp_path / "store")
+        loaded = load_database(tmp_path / "store").database
+        assert_databases_equal(database, loaded)
+
+    def test_sharded_rebuild_from_loaded_store(self, tmp_path):
+        """A loaded store reshards deterministically (pure MAC hash)."""
+        rng = np.random.default_rng(54)
+        database = random_database(rng, devices=30)
+        save_database(database, tmp_path / "store")
+        loaded = load_database(tmp_path / "store").database
+        a = ShardedReferenceDatabase.from_database(database, 4)
+        b = ShardedReferenceDatabase.from_database(loaded, 4)
+        assert a.shard_sizes() == b.shard_sizes()
+        assert [shard.devices for shard in a.shards] == [
+            shard.devices for shard in b.shards
+        ]
+
+
+class TestStoreFormat:
+    def test_is_database_store(self, tmp_path):
+        assert not is_database_store(tmp_path / "nope")
+        save_database(ReferenceDatabase(), tmp_path / "store")
+        assert is_database_store(tmp_path / "store")
+
+    def test_info_without_loading(self, tmp_path):
+        rng = np.random.default_rng(55)
+        save_database(
+            random_database(rng, devices=8), tmp_path / "store", parameter="size"
+        )
+        info = database_info(tmp_path / "store")
+        assert info["device_count"] == 8
+        assert info["parameter"] == "size"
+        assert info["layout"] == "packed"
+        assert info["total_bytes"] > 0
+
+    def test_missing_store_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_database(tmp_path / "absent")
+
+    def test_unknown_version_rejected(self, tmp_path):
+        rng = np.random.default_rng(56)
+        save_database(random_database(rng, devices=2), tmp_path / "store")
+        meta_path = tmp_path / "store" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="version"):
+            load_database(tmp_path / "store")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        rng = np.random.default_rng(57)
+        save_database(random_database(rng, devices=2), tmp_path / "store")
+        meta_path = tmp_path / "store" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format"] = "something-else"
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="format"):
+            load_database(tmp_path / "store")
+
+    def test_sidecar_device_count_mismatch_rejected(self, tmp_path):
+        rng = np.random.default_rng(58)
+        save_database(random_database(rng, devices=3), tmp_path / "store")
+        sidecar = tmp_path / "store" / "devices.jsonl"
+        lines = sidecar.read_text().splitlines()
+        sidecar.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="sidecar"):
+            load_database(tmp_path / "store")
+
+
+def make_engine(parameter, database, sink, window_s=10.0):
+    return StreamEngine(
+        lambda: StreamingSignatureBuilder(parameter, min_observations=30),
+        database=database,
+        window=WindowConfig(window_s=window_s),
+        sinks=[sink],
+    )
+
+
+class TestStreamCheckpoint:
+    @pytest.fixture(scope="class")
+    def setting(self, small_office_trace):
+        frames = small_office_trace.frames
+        parameter = InterArrivalTime()
+        builder = SignatureBuilder(parameter, min_observations=30)
+        database = ReferenceDatabase.from_training(
+            builder, frames[: len(frames) // 2]
+        )
+        return frames, parameter, database
+
+    @pytest.mark.parametrize("fraction", [0.1, 0.4, 0.73])
+    def test_resume_reproduces_uninterrupted_run(self, tmp_path, setting, fraction):
+        frames, parameter, database = setting
+        whole_sink = CollectingSink()
+        whole = make_engine(parameter, database, whole_sink)
+        whole.run(frames)
+
+        cut = int(len(frames) * fraction)
+        first_sink = CollectingSink()
+        first = make_engine(parameter, database, first_sink)
+        for frame in frames[:cut]:
+            first.process_frame(frame)
+        checkpoint = first.checkpoint(tmp_path / "ck.json")
+
+        second_sink = CollectingSink()
+        second = make_engine(parameter, database, second_sink)
+        second.restore(checkpoint)
+        for frame in frames[cut:]:
+            second.process_frame(frame)
+        second.flush()
+
+        assert first_sink.events + second_sink.events == whole_sink.events
+        assert second.stats == whole.stats
+
+    def test_generic_extractor_state_round_trips(self, tmp_path, setting):
+        """The base ObservationStream remembers its predecessor frame;
+        the checkpoint embeds that frame and restores it exactly."""
+        frames, _, _ = setting
+
+        class GenericAccess(MediumAccessTime):
+            def online(self):
+                return ObservationStream(self)
+
+        parameter = GenericAccess()
+        whole_sink = CollectingSink()
+        whole = make_engine(parameter, None, whole_sink)
+        whole.run(frames)
+
+        cut = len(frames) // 3
+        first_sink = CollectingSink()
+        first = make_engine(parameter, None, first_sink)
+        for frame in frames[:cut]:
+            first.process_frame(frame)
+        checkpoint = first.checkpoint(tmp_path / "ck.json")
+        second_sink = CollectingSink()
+        second = make_engine(parameter, None, second_sink)
+        second.restore(checkpoint)
+        for frame in frames[cut:]:
+            second.process_frame(frame)
+        second.flush()
+        assert first_sink.events + second_sink.events == whole_sink.events
+        assert second.stats == whole.stats
+
+    def test_config_mismatch_rejected(self, tmp_path, setting):
+        frames, parameter, database = setting
+        engine = make_engine(parameter, database, CollectingSink())
+        for frame in frames[:200]:
+            engine.process_frame(frame)
+        checkpoint = engine.checkpoint(tmp_path / "ck.json")
+        other = make_engine(parameter, database, CollectingSink(), window_s=20.0)
+        with pytest.raises(ValueError, match="window config"):
+            other.restore(checkpoint)
+
+    def test_builder_config_mismatch_rejected(self, tmp_path, setting):
+        frames, parameter, database = setting
+        engine = make_engine(parameter, database, CollectingSink())
+        for frame in frames[:500]:
+            engine.process_frame(frame)
+        checkpoint = engine.checkpoint(tmp_path / "ck.json")
+        other = StreamEngine(
+            lambda: StreamingSignatureBuilder(parameter, min_observations=7),
+            database=database,
+            window=WindowConfig(window_s=10.0),
+        )
+        with pytest.raises(ValueError, match="min_observations"):
+            other.restore(checkpoint)
+
+    def test_not_a_checkpoint_rejected(self, tmp_path, setting):
+        _, parameter, database = setting
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"format": "something"}')
+        engine = make_engine(parameter, database, CollectingSink())
+        with pytest.raises(ValueError, match="checkpoint"):
+            engine.restore(bogus)
+
+    def test_checkpoint_before_first_frame(self, tmp_path, setting):
+        frames, parameter, database = setting
+        engine = make_engine(parameter, database, CollectingSink())
+        checkpoint = engine.checkpoint(tmp_path / "ck.json")
+        sink = CollectingSink()
+        resumed = make_engine(parameter, database, sink)
+        resumed.restore(checkpoint)
+        resumed.run(frames[:500])
+        assert resumed.stats.frames == 500
