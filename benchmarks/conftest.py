@@ -144,6 +144,42 @@ def datasets() -> dict[str, tuple[Trace, float]]:
     return paper_datasets(scale=bench_scale())
 
 
+class SimulationCache:
+    """Session-wide memo for the Section VI factor experiments.
+
+    The figure benchmarks each drive one or more scenario simulations;
+    re-running the suite-level sweep (or several figures sharing a
+    configuration) used to re-simulate identical scenarios from
+    scratch.  Runs are memoised on ``(experiment name, duration, seed,
+    scale)`` — the full determinism key, since every scenario is seeded
+    — so each distinct simulation happens at most once per session.
+    """
+
+    def __init__(self) -> None:
+        self._results: dict[tuple, object] = {}
+
+    def experiment(
+        self, name: str, duration_s: float, seed: int | None = None
+    ):
+        """Run (or recall) one factor experiment by short name."""
+        from repro.analysis import factors
+
+        runner = getattr(factors, f"{name}_experiment")
+        key = (name, duration_s, seed, bench_scale())
+        if key not in self._results:
+            kwargs = {"duration_s": duration_s}
+            if seed is not None:
+                kwargs["seed"] = seed
+            self._results[key] = runner(**kwargs)
+        return self._results[key]
+
+
+@pytest.fixture(scope="session")
+def sim_cache() -> SimulationCache:
+    """Shared scenario memo for the figure-reproduction benchmarks."""
+    return SimulationCache()
+
+
 class EvaluationCache:
     """Lazily computed, memoised (trace, parameter) evaluations."""
 

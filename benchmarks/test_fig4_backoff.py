@@ -11,13 +11,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.factors import backoff_experiment
 from repro.analysis.plots import render_histogram
 
 
-def test_fig4_backoff_quirks(benchmark):
+def test_fig4_backoff_quirks(benchmark, sim_cache):
     result = benchmark.pedantic(
-        backoff_experiment, kwargs={"duration_s": 8.0}, rounds=1, iterations=1
+        sim_cache.experiment,
+        args=("backoff",),
+        kwargs={"duration_s": 8.0},
+        rounds=1,
+        iterations=1,
     )
     print()
     for label, histogram in result.histograms.items():

@@ -10,13 +10,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.factors import rts_experiment
 from repro.analysis.plots import render_histogram
 
 
-def test_fig5_rts_settings(benchmark):
+def test_fig5_rts_settings(benchmark, sim_cache):
     result = benchmark.pedantic(
-        rts_experiment, kwargs={"duration_s": 12.0}, rounds=1, iterations=1
+        sim_cache.experiment,
+        args=("rts",),
+        kwargs={"duration_s": 12.0},
+        rounds=1,
+        iterations=1,
     )
     print()
     for label, histogram in result.histograms.items():

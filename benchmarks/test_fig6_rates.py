@@ -8,13 +8,16 @@ inter-arrival signatures (Figures 6a/6b).
 
 from __future__ import annotations
 
-from repro.analysis.factors import rate_experiment
 from repro.analysis.plots import render_histogram
 
 
-def test_fig6_rate_behaviour(benchmark):
+def test_fig6_rate_behaviour(benchmark, sim_cache):
     result = benchmark.pedantic(
-        rate_experiment, kwargs={"duration_s": 10.0}, rounds=1, iterations=1
+        sim_cache.experiment,
+        args=("rate",),
+        kwargs={"duration_s": 10.0},
+        rounds=1,
+        iterations=1,
     )
     print()
     for label, histogram in result.histograms.items():

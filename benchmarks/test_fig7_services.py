@@ -7,14 +7,17 @@ to broadcast/multicast data frames still show device-specific peaks.
 
 from __future__ import annotations
 
-from repro.analysis.factors import services_experiment
 from repro.analysis.plots import render_histogram
 from repro.core.similarity import cosine_similarity
 
 
-def test_fig7_network_services(benchmark):
+def test_fig7_network_services(benchmark, sim_cache):
     result = benchmark.pedantic(
-        services_experiment, kwargs={"duration_s": 420.0}, rounds=1, iterations=1
+        sim_cache.experiment,
+        args=("services",),
+        kwargs={"duration_s": 420.0},
+        rounds=1,
+        iterations=1,
     )
     print()
     for label, histogram in result.histograms.items():

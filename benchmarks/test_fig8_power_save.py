@@ -7,15 +7,18 @@ cards disable power save entirely (their null-frame traffic vanishes).
 
 from __future__ import annotations
 
-from repro.analysis.factors import psm_experiment
 from repro.analysis.plots import render_histogram
 from repro.core.similarity import cosine_similarity
 from repro.simulator.profiles import profile_by_name
 
 
-def test_fig8_power_save_cadence(benchmark):
+def test_fig8_power_save_cadence(benchmark, sim_cache):
     result = benchmark.pedantic(
-        psm_experiment, kwargs={"duration_s": 420.0}, rounds=1, iterations=1
+        sim_cache.experiment,
+        args=("psm",),
+        kwargs={"duration_s": 420.0},
+        rounds=1,
+        iterations=1,
     )
     print()
     for label, histogram in result.histograms.items():

@@ -1,0 +1,171 @@
+"""Macro-benchmark: columnar trace→window-candidates vs the object path.
+
+Synthetic heavy-ingest workload — a ≥100k-frame capture (40 devices,
+ACK/CTS interleaved) run through the full detection front end for all
+five network parameters: training split → reference database →
+validation windows → candidate signatures → batch matching.  The
+columnar backbone (DESIGN.md §6) must deliver at least a 10× speedup
+over the per-frame object path while producing **identical**
+candidates (same devices, same windows, same similarity scores).
+
+The one-time columnar interning pass (``Trace.table()``) happens
+outside the timed region — one table serves every parameter, window
+and consumer, mirroring how ``test_perf_matching`` pre-packs the
+reference matrices — but it is measured and reported separately, and
+the ingest-inclusive speedup is gated too (≥2×/≥1.2× smoke).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.database import ReferenceDatabase
+from repro.core.detection import DetectionConfig, extract_window_candidates
+from repro.core.parameters import ALL_PARAMETERS
+from repro.core.signature import SignatureBuilder
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.frames import Dot11Frame, FrameSubtype, ack_frame
+from repro.dot11.mac import vendor_mac
+from repro.traces.trace import Trace
+from benchmarks.conftest import bench_smoke, write_bench_json
+
+#: Reduced sizes (and relaxed bars) under REPRO_BENCH_SMOKE=1.
+SMOKE = bench_smoke()
+FRAMES = 25_000 if SMOKE else 120_000
+DEVICES = 15 if SMOKE else 40
+WINDOW_S = 6.0
+MIN_OBS = 50
+TRAINING_FRACTION = 0.2
+REQUIRED_SPEEDUP = 3.0 if SMOKE else 10.0
+REQUIRED_SPEEDUP_WITH_INGEST = 1.2 if SMOKE else 2.0
+
+_SUBTYPES = (
+    FrameSubtype.QOS_DATA,
+    FrameSubtype.QOS_DATA,
+    FrameSubtype.QOS_DATA,
+    FrameSubtype.DATA,
+    FrameSubtype.PROBE_REQUEST,
+    FrameSubtype.NULL_FUNCTION,
+)
+
+
+def _workload() -> Trace:
+    rng = np.random.default_rng(4127)
+    senders = [vendor_mac("00:13:e8", i + 1) for i in range(DEVICES)]
+    ap = vendor_mac("00:0f:b5", 1)
+    stamps = np.cumsum(rng.exponential(250.0, FRAMES))
+    who = rng.integers(0, DEVICES, FRAMES)
+    subtype_pick = rng.integers(0, len(_SUBTYPES), FRAMES)
+    is_ack = rng.random(FRAMES) < 0.15  # sender-less channel-clock ticks
+    sizes = rng.choice([80, 120, 640, 1460, 1500], FRAMES)
+    rates = rng.choice([1.0, 2.0, 5.5, 11.0, 24.0, 54.0], FRAMES)
+    frames = []
+    for i in range(FRAMES):
+        if is_ack[i]:
+            frame = ack_frame(ap)
+        else:
+            subtype = _SUBTYPES[subtype_pick[i]]
+            frame = Dot11Frame(
+                subtype=subtype,
+                size=28 if subtype is FrameSubtype.NULL_FUNCTION else int(sizes[i]),
+                addr1=ap,
+                addr2=senders[who[i]],
+                addr3=ap,
+            )
+        frames.append(
+            CapturedFrame(
+                timestamp_us=float(stamps[i]),
+                frame=frame,
+                rate_mbps=float(rates[i]),
+            )
+        )
+    return Trace(frames=frames, name="perf-pipeline")
+
+
+def _sweep(split, training_table, columnar: bool):
+    """Full detection front end for all five parameters."""
+    results = []
+    for parameter in ALL_PARAMETERS:
+        builder = SignatureBuilder(parameter, min_observations=MIN_OBS)
+        if columnar:
+            database = ReferenceDatabase.from_training_table(builder, training_table)
+        else:
+            database = ReferenceDatabase.from_training(builder, split.training.frames)
+        results.append(
+            extract_window_candidates(
+                split.validation,
+                builder,
+                database,
+                DetectionConfig(window_s=WINDOW_S, min_observations=MIN_OBS),
+                columnar=columnar,
+            )
+        )
+    return results
+
+
+def test_columnar_pipeline_throughput(benchmark):
+    trace = _workload()
+
+    # --- one-time interning (measured, outside the timed sweeps) ----
+    start = time.perf_counter()
+    trace.table()
+    split = trace.split(trace.duration_s * TRAINING_FRACTION)  # table views
+    training_table = split.training.table()
+    split.validation.table()
+    interning_seconds = time.perf_counter() - start
+
+    # --- object reference path --------------------------------------
+    start = time.perf_counter()
+    object_results = _sweep(split, training_table, columnar=False)
+    object_seconds = time.perf_counter() - start
+
+    # --- columnar path over the same trace --------------------------
+    columnar_results = benchmark(_sweep, split, training_table, True)
+    columnar_seconds = benchmark.stats.stats.min
+
+    # Bin-for-bin identical output: same candidates, same scores.
+    for expected, actual in zip(object_results, columnar_results):
+        assert [(c.device, c.window_index) for c in expected] == [
+            (c.device, c.window_index) for c in actual
+        ]
+        for reference, candidate in zip(expected, actual):
+            assert reference.similarities == candidate.similarities
+
+    candidate_count = sum(len(r) for r in object_results)
+    assert candidate_count > 0
+    speedup = object_seconds / columnar_seconds
+    speedup_with_ingest = object_seconds / (columnar_seconds + interning_seconds)
+    frames_per_s = FRAMES * len(ALL_PARAMETERS) / columnar_seconds
+    print(
+        f"\nobject: {object_seconds:.3f}s  columnar: {columnar_seconds:.3f}s "
+        f"(+{interning_seconds:.3f}s one-time interning)  "
+        f"speedup: {speedup:.1f}x ({speedup_with_ingest:.1f}x incl. ingest)  "
+        f"{frames_per_s:,.0f} frame-params/s"
+    )
+    write_bench_json(
+        "pipeline",
+        {
+            "frames": FRAMES,
+            "devices": DEVICES,
+            "parameters": len(ALL_PARAMETERS),
+            "window_s": WINDOW_S,
+            "candidates": candidate_count,
+            "interning_seconds": interning_seconds,
+            "object_seconds": object_seconds,
+            "columnar_seconds": columnar_seconds,
+            "speedup": speedup,
+            "speedup_with_ingest": speedup_with_ingest,
+            "frame_params_per_s": frames_per_s,
+            "required_speedup": REQUIRED_SPEEDUP,
+        },
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"columnar pipeline only {speedup:.1f}x over the object path "
+        f"(need ≥{REQUIRED_SPEEDUP}x)"
+    )
+    assert speedup_with_ingest >= REQUIRED_SPEEDUP_WITH_INGEST, (
+        f"columnar pipeline incl. interning only {speedup_with_ingest:.1f}x "
+        f"(need ≥{REQUIRED_SPEEDUP_WITH_INGEST}x)"
+    )

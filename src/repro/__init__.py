@@ -37,7 +37,7 @@ from repro.core import (
     evaluate_trace,
     match_signature,
 )
-from repro.traces import Trace, conference_trace, office_trace
+from repro.traces import FrameTable, Trace, conference_trace, office_trace
 
 __version__ = "1.0.0"
 
@@ -45,6 +45,7 @@ __all__ = [
     "ALL_PARAMETERS",
     "DetectionConfig",
     "FrameSize",
+    "FrameTable",
     "InterArrivalTime",
     "MediumAccessTime",
     "ReferenceDatabase",

@@ -19,6 +19,13 @@ using the simulator in place of the physical testbed:
 Following the paper's method, values are measured on the **full
 channel timeline** (the previous frame may be anyone's) and then
 restricted to the frame subset each figure names.
+
+Measurement runs on the simulation's columnar
+:class:`~repro.traces.table.FrameTable` view
+(:meth:`SimulationResult.table`): the timeline inter-arrivals are one
+shifted-array subtraction under a sender mask, and only an explicit
+frame *predicate* (retry flags, rate equality, ...) still walks the
+backing frames.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ import numpy as np
 
 from repro.core.histogram import BinSpec, CategoricalBins, Histogram, UniformBins
 from repro.dot11.capture import CapturedFrame
+from repro.dot11.frames import FrameSubtype, FrameType
 from repro.dot11.mac import MacAddress
 from repro.dot11.phy import PAPER_RATE_AXIS
 from repro.simulator.channel import ChannelModel
@@ -44,6 +52,12 @@ from repro.simulator.profiles import (
 from repro.simulator.scenario import Scenario, StationSpec
 from repro.simulator.traffic import CbrTraffic, IgmpService, LlmnrService, MdnsService, SsdpService, WebTraffic
 from repro.traces.filters import FramePredicate
+from repro.traces.table import FrameTable
+
+#: Frame-type labels of the data family (Figure 6's rate histograms).
+_DATA_LABELS = frozenset(
+    subtype.label for subtype in FrameSubtype if subtype.ftype is FrameType.DATA
+)
 
 
 @dataclass
@@ -78,28 +92,40 @@ class FactorExperimentResult:
 
 
 def timeline_interarrivals(
-    frames: list[CapturedFrame],
+    frames: list[CapturedFrame] | FrameTable,
     sender: MacAddress,
     predicate: FramePredicate | None = None,
-) -> list[float]:
+) -> np.ndarray:
     """Inter-arrivals on the full timeline, restricted to a sender and
-    optional frame predicate — the paper's Figure 4/7/8 measurement."""
-    previous_t: float | None = None
-    values: list[float] = []
-    for captured in frames:
-        if (
-            previous_t is not None
-            and captured.sender == sender
-            and (predicate is None or predicate(captured))
-        ):
-            values.append(captured.timestamp_us - previous_t)
-        previous_t = captured.timestamp_us
-    return values
+    optional frame predicate — the paper's Figure 4/7/8 measurement.
+
+    Accepts a frame list or a columnar
+    :class:`~repro.traces.table.FrameTable`; the subtraction runs
+    vectorized on the timestamp column either way.  A predicate, being
+    an arbitrary callable, is evaluated against the backing frames.
+    """
+    table = frames if isinstance(frames, FrameTable) else FrameTable.from_frames(frames)
+    code = table.sender_code(sender)
+    if len(table) == 0 or code < 0:
+        return np.empty(0, dtype=np.float64)
+    positions = np.flatnonzero(table.sender_idx == code)
+    if predicate is not None:
+        # The predicate is an arbitrary Python callable, so it walks
+        # frames — but only the target sender's, never the full trace.
+        keep = np.fromiter(
+            (bool(predicate(table.frame_at(int(row)))) for row in positions),
+            dtype=bool,
+            count=positions.size,
+        )
+        positions = positions[keep]
+    positions = positions[positions >= 1]  # the first frame has no t_{i-1}
+    stamps = table.timestamp_us
+    return stamps[positions] - stamps[positions - 1]
 
 
-def _histogram_of(values: list[float], bins: BinSpec) -> np.ndarray:
+def _histogram_of(values: np.ndarray | list[float], bins: BinSpec) -> np.ndarray:
     histogram = Histogram(bins)
-    histogram.add_many(values)
+    histogram.add_array(np.asarray(values, dtype=np.float64))
     return histogram.frequencies()
 
 
@@ -129,7 +155,7 @@ def _run_cage(
     duration_s: float,
     seed: int,
     interval_ms: float = 0.4,
-) -> tuple[list[CapturedFrame], MacAddress]:
+) -> tuple[FrameTable, MacAddress]:
     """One station saturating a noiseless channel (the Faraday cage)."""
     scenario = Scenario(
         duration_s=duration_s,
@@ -150,7 +176,7 @@ def _run_cage(
     sender = next(
         mac for mac, name in result.station_names.items() if name == "cage-device"
     )
-    return result.captures, sender
+    return result.table(), sender
 
 
 def backoff_experiment(
@@ -178,8 +204,8 @@ def backoff_experiment(
         )
 
     for label, profile in (("device-1", device_a), ("device-2", device_b)):
-        frames, sender = _run_cage(profile, duration_s, seed)
-        values = timeline_interarrivals(frames, sender, fig4_filter)
+        table, sender = _run_cage(profile, duration_s, seed)
+        values = timeline_interarrivals(table, sender, fig4_filter)
         result.histograms[label] = _histogram_of(values, bins)
         result.observation_counts[label] = len(values)
     return result
@@ -234,7 +260,7 @@ def rts_experiment(duration_s: float = 20.0, seed: int = 17) -> FactorExperiment
             mac for mac, name in run.station_names.items() if name == "subject"
         )
         values = timeline_interarrivals(
-            run.captures, sender, lambda c: c.frame.is_data
+            run.table(), sender, lambda c: c.frame.is_data
         )
         result.histograms[label] = _histogram_of(values, bins)
         result.observation_counts[label] = len(values)
@@ -282,16 +308,17 @@ def rate_experiment(duration_s: float = 15.0, seed: int = 23) -> FactorExperimen
         sender = next(
             mac for mac, name in run.station_names.items() if name == "subject"
         )
+        table = run.table()
         values = timeline_interarrivals(
-            run.captures, sender, lambda c: c.frame.is_data
+            table, sender, lambda c: c.frame.is_data
         )
         result.histograms[label] = _histogram_of(values, bins)
         result.observation_counts[label] = len(values)
-        rates = [
-            c.rate_mbps for c in run.captures if c.sender == sender and c.frame.is_data
-        ]
+        rates_mask = (table.sender_idx == table.sender_code(sender)) & table.mask_ftypes(
+            _DATA_LABELS
+        )
         result.companions[f"{label}-rates"] = (
-            _histogram_of(rates, rate_bins),
+            _histogram_of(table.rate_mbps[rates_mask], rate_bins),
             rate_bins,
         )
     return result
@@ -342,7 +369,7 @@ def services_experiment(
     for label in ("netbook-1", "netbook-2"):
         sender = next(mac for mac, name in run.station_names.items() if name == label)
         values = timeline_interarrivals(
-            run.captures,
+            run.table(),
             sender,
             lambda c: c.frame.is_data and c.frame.is_multicast,
         )
@@ -379,7 +406,7 @@ def psm_experiment(duration_s: float = 600.0, seed: int = 57) -> FactorExperimen
     for label in ("card-1", "card-2"):
         sender = next(mac for mac, name in run.station_names.items() if name == label)
         values = timeline_interarrivals(
-            run.captures, sender, lambda c: c.frame.is_null_function
+            run.table(), sender, lambda c: c.frame.is_null_function
         )
         result.histograms[label] = _histogram_of(values, bins)
         result.observation_counts[label] = len(values)

@@ -113,7 +113,7 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     trace = Trace.from_pcap(args.pcap)
     parameter = parameter_by_name(args.parameter)
     builder = SignatureBuilder(parameter, min_observations=args.min_observations)
-    database = ReferenceDatabase.from_training(builder, trace.frames)
+    database = ReferenceDatabase.from_training_table(builder, trace.table())
     save_database(database, parameter.name, Path(args.db))
     print(f"learnt {len(database)} reference devices -> {args.db}")
     return 0
@@ -124,9 +124,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
     parameter = parameter_by_name(parameter_name)
     builder = SignatureBuilder(parameter, min_observations=args.min_observations)
     trace = Trace.from_pcap(args.pcap)
+    trace.table()  # intern once; window views below share the columns
     rows = []
     for window_index, window in enumerate(trace.windows(args.window_s)):
-        for device, signature in builder.build(window.frames).items():
+        for device, signature in builder.build_table(window.table()).items():
             similarities = match_signature(signature, database)
             if not similarities:
                 continue
@@ -332,7 +333,7 @@ def _cmd_db_save(args: argparse.Namespace) -> int:
     trace = Trace.from_pcap(args.pcap)
     parameter = parameter_by_name(args.parameter)
     builder = SignatureBuilder(parameter, min_observations=args.min_observations)
-    database = ReferenceDatabase.from_training(builder, trace.frames)
+    database = ReferenceDatabase.from_training_table(builder, trace.table())
     save_store(database, args.store, parameter=parameter.name)
     print(f"learnt {len(database)} reference devices -> {args.store}")
     return 0

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.dot11.mac import MacAddress
 from repro.core.database import ReferenceDatabase
 from repro.core.matcher import batch_match_signatures
@@ -23,6 +25,7 @@ from repro.core.metrics import (
 )
 from repro.core.signature import Signature, SignatureBuilder
 from repro.core.similarity import SimilarityMeasure, cosine_similarity
+from repro.traces.table import window_bounds
 from repro.traces.trace import Trace
 
 #: Default threshold sweep: fine steps near the top where cosine
@@ -52,14 +55,65 @@ class WindowCandidate:
     similarities: dict[MacAddress, float] = field(default_factory=dict)
 
 
+def _columnar_window_candidates(
+    validation: Trace, builder: SignatureBuilder, config: DetectionConfig
+) -> list[WindowCandidate] | None:
+    """All window candidates via the columnar fast path (DESIGN.md §6).
+
+    Observations for the *whole* validation trace are extracted and
+    binned once; each detection window is then an ``np.searchsorted``
+    slice of that batch.  A window's first ``table_memory`` rows are
+    excluded so a channel-clock observation never reaches back across
+    the window boundary — exactly reproducing per-window extraction.
+    Returns ``None`` when the parameter has no columnar extractor.
+    """
+    table = validation.table()
+    observed = builder.parameter.observe_table(table)
+    if observed is None:
+        return None
+    bin_idx = builder.bins.index_many(observed.values)
+    memory = builder.parameter.table_memory
+    candidates: list[WindowCandidate] = []
+    for window_index, (lo, hi) in enumerate(
+        window_bounds(table.timestamp_us, config.window_s)
+    ):
+        obs_lo, obs_hi = np.searchsorted(
+            observed.positions, (lo + memory, hi), side="left"
+        )
+        signatures = builder.build_binned(
+            observed.sender_idx[obs_lo:obs_hi],
+            observed.ftype_idx[obs_lo:obs_hi],
+            bin_idx[obs_lo:obs_hi],
+            table.senders,
+            table.ftype_keys,
+        )
+        for device, signature in signatures.items():
+            candidates.append(
+                WindowCandidate(
+                    device=device, window_index=window_index, signature=signature
+                )
+            )
+    return candidates
+
+
 def extract_window_candidates(
     validation: Trace,
     builder: SignatureBuilder,
     database: ReferenceDatabase,
     config: DetectionConfig,
     measure: SimilarityMeasure | None = None,
+    columnar: bool = True,
 ) -> list[WindowCandidate]:
     """Build and match all window candidates of a validation trace.
+
+    With ``columnar=True`` (the default) signature construction runs
+    on the trace's :class:`~repro.traces.table.FrameTable`: one
+    vectorized observation/binning pass over the whole validation
+    trace, O(log n) window cuts, one ``np.bincount`` scatter per
+    window — falling back to the per-window object path only for
+    parameters without a columnar extractor.  ``columnar=False``
+    forces the object reference path (used by the equivalence
+    benchmark).  Both paths produce bin-for-bin identical candidates.
 
     Candidate signatures are collected first, then matched in a single
     :func:`~repro.core.matcher.batch_match_signatures` call — for the
@@ -67,14 +121,18 @@ def extract_window_candidates(
     over every (window, device) candidate at once.
     """
     chosen = measure if measure is not None else config.measure
-    candidates: list[WindowCandidate] = []
-    for window_index, window in enumerate(validation.windows(config.window_s)):
-        for device, signature in builder.build(window.frames).items():
-            candidates.append(
-                WindowCandidate(
-                    device=device, window_index=window_index, signature=signature
+    candidates: list[WindowCandidate] | None = None
+    if columnar:
+        candidates = _columnar_window_candidates(validation, builder, config)
+    if candidates is None:
+        candidates = []
+        for window_index, window in enumerate(validation.windows(config.window_s)):
+            for device, signature in builder.build(window.frames).items():
+                candidates.append(
+                    WindowCandidate(
+                        device=device, window_index=window_index, signature=signature
+                    )
                 )
-            )
     scores = batch_match_signatures(
         [candidate.signature for candidate in candidates], database, chosen
     )

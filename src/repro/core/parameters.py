@@ -18,6 +18,15 @@ Section IV-A semantics:
 
 All parameters also accept a *default binning* used throughout the
 evaluation (ablated in ``benchmarks/test_ablation_bin_width.py``).
+
+Each parameter has three equivalent extractors: the scalar reference
+:meth:`~NetworkParameter.observations`, the O(1)-per-frame streaming
+:meth:`~NetworkParameter.online`, and the vectorized
+:meth:`~NetworkParameter.observe_table` over a columnar
+:class:`~repro.traces.table.FrameTable` (the hot batch path; the
+time-derived parameters become shifted-array subtractions under a
+sender mask — DESIGN.md §6).  Equivalence is property-pinned in
+``tests/test_parameters.py`` and ``tests/test_table.py``.
 """
 
 from __future__ import annotations
@@ -25,10 +34,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
+import numpy as np
+
 from repro.dot11.capture import CapturedFrame
 from repro.dot11.mac import MacAddress
 from repro.dot11.phy import PAPER_RATE_AXIS, paper_transmission_time_us
 from repro.core.histogram import BinSpec, CategoricalBins, UniformBins
+from repro.traces.table import FrameTable, TableObservations
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +59,13 @@ class NetworkParameter:
     name: str = "abstract"
     #: Human-readable label matching the paper's terminology.
     label: str = "abstract parameter"
+    #: Frames of channel memory an observation consumes (0 for pure
+    #: per-frame values, 1 for the ``t_{i-1}``-derived parameters).
+    #: The detection fast path uses this to slice a whole-trace
+    #: observation batch into per-window batches: an observation at
+    #: table row ``p`` is valid for a window starting at row ``lo``
+    #: iff ``p >= lo + table_memory`` (DESIGN.md §6).
+    table_memory: int = 0
 
     def default_bins(self) -> BinSpec:
         """Binning used by the evaluation unless overridden."""
@@ -57,6 +76,18 @@ class NetworkParameter:
     ) -> Iterator[Observation]:
         """Yield attributed observations from a frame sequence."""
         raise NotImplementedError
+
+    def observe_table(self, table: FrameTable) -> TableObservations | None:
+        """Vectorized observation extraction over a columnar table.
+
+        Returns the full observation batch as aligned arrays — the
+        same (sender, frame type, value) sequence :meth:`observations`
+        yields on ``table.to_frames()``, bit for bit — or ``None`` when
+        the parameter has no columnar implementation, in which case
+        callers fall back to the object path.  The five built-in
+        parameters all vectorize.
+        """
+        return None
 
     def online(self) -> "ObservationStream":
         """A stateful frame-by-frame extractor (streaming engine).
@@ -179,6 +210,30 @@ class _ChannelClockStream(ObservationStream):
         self._previous_t = state.get("previous_t")
 
 
+def _attributable_positions(table: FrameTable) -> np.ndarray:
+    """Rows that can yield an observation (sender known)."""
+    return np.flatnonzero(table.sender_idx >= 0)
+
+
+def _clocked_positions(table: FrameTable) -> np.ndarray:
+    """Rows yielding a time-derived observation: attributable rows
+    with a predecessor on the channel (the first row has no
+    ``t_{i-1}``; ACK/CTS rows advance the clock but are masked out)."""
+    positions = np.flatnonzero(table.sender_idx[1:] >= 0)
+    return positions + 1
+
+
+def _gathered(
+    table: FrameTable, positions: np.ndarray, values: np.ndarray
+) -> TableObservations:
+    return TableObservations(
+        sender_idx=table.sender_idx[positions],
+        ftype_idx=table.ftype_idx[positions],
+        values=values,
+        positions=positions,
+    )
+
+
 class TransmissionRate(NetworkParameter):
     """``p_i = rate_i`` — the Radiotap-reported transmission rate."""
 
@@ -194,6 +249,10 @@ class TransmissionRate(NetworkParameter):
             if sender is None:
                 continue
             yield Observation(sender, captured.ftype_key, captured.rate_mbps)
+
+    def observe_table(self, table: FrameTable) -> TableObservations:
+        positions = _attributable_positions(table)
+        return _gathered(table, positions, table.rate_mbps[positions])
 
     def online(self) -> ObservationStream:
         return _PerFrameStream(self, lambda captured: captured.rate_mbps)
@@ -214,6 +273,10 @@ class FrameSize(NetworkParameter):
             if sender is None:
                 continue
             yield Observation(sender, captured.ftype_key, float(captured.size))
+
+    def observe_table(self, table: FrameTable) -> TableObservations:
+        positions = _attributable_positions(table)
+        return _gathered(table, positions, table.size[positions])
 
     def online(self) -> ObservationStream:
         return _PerFrameStream(self, lambda captured: float(captured.size))
@@ -239,6 +302,13 @@ class TransmissionTime(NetworkParameter):
             value = paper_transmission_time_us(captured.size, captured.rate_mbps)
             yield Observation(sender, captured.ftype_key, value)
 
+    def observe_table(self, table: FrameTable) -> TableObservations:
+        # size * 8 / rate over float64 columns is bit-identical to the
+        # scalar paper_transmission_time_us (sizes are exact in float64).
+        positions = _attributable_positions(table)
+        values = table.size[positions] * 8.0 / table.rate_mbps[positions]
+        return _gathered(table, positions, values)
+
     def online(self) -> ObservationStream:
         return _PerFrameStream(
             self,
@@ -259,6 +329,7 @@ class InterArrivalTime(NetworkParameter):
 
     name = "interarrival"
     label = "Inter-arrival time"
+    table_memory = 1
 
     def default_bins(self) -> BinSpec:
         # The paper's histograms span 0-2500 µs (Figure 2); longer
@@ -277,6 +348,14 @@ class InterArrivalTime(NetworkParameter):
                 )
             previous_t = t_i
 
+    def observe_table(self, table: FrameTable) -> TableObservations:
+        # The channel clock vectorizes as a shifted-array subtraction:
+        # t_{i-1} is simply the timestamp column shifted by one row,
+        # because *every* frame (attributable or not) advances it.
+        positions = _clocked_positions(table)
+        t = table.timestamp_us
+        return _gathered(table, positions, t[positions] - t[positions - 1])
+
     def online(self) -> ObservationStream:
         return _ChannelClockStream(
             self, lambda captured, previous_t: captured.timestamp_us - previous_t
@@ -294,6 +373,7 @@ class MediumAccessTime(NetworkParameter):
 
     name = "access"
     label = "Medium access time"
+    table_memory = 1
 
     def default_bins(self) -> BinSpec:
         # Same tail treatment as the inter-arrival time: only waits in
@@ -310,6 +390,16 @@ class MediumAccessTime(NetworkParameter):
                     captured.sender, captured.ftype_key, (t_i - tt_i) - previous_t
                 )
             previous_t = t_i
+
+    def observe_table(self, table: FrameTable) -> TableObservations:
+        # Same shift-and-mask as the inter-arrival time, with the
+        # start-of-reception estimate t_i − tt_i in place of t_i; the
+        # operation order matches the scalar path bit for bit.
+        positions = _clocked_positions(table)
+        t = table.timestamp_us
+        tt = table.size[positions] * 8.0 / table.rate_mbps[positions]
+        values = (t[positions] - tt) - t[positions - 1]
+        return _gathered(table, positions, values)
 
     def online(self) -> ObservationStream:
         def value(captured: CapturedFrame, previous_t: float) -> float:

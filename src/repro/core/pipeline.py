@@ -6,12 +6,15 @@ reference database, window the validation part, match candidates and
 score both tests.  The benchmark suite calls this once per
 table/figure cell.
 
-Both hot phases ride the vectorized batch engine: signature
-construction bins observation arrays in one NumPy pass per (device,
-frame type) bucket, and all window candidates are matched against the
-packed reference matrices in a single
-:func:`~repro.core.matcher.batch_match_signatures` call (see DESIGN.md
-"Batch matrix layout").
+The whole protocol rides the columnar backbone (DESIGN.md §6): the
+trace is interned into a :class:`~repro.traces.table.FrameTable` once,
+the train/validation split and every detection window are
+``np.searchsorted`` views of it, signature construction scatters
+vectorized observation batches with ``np.bincount``, and all window
+candidates are matched against the packed reference matrices in a
+single :func:`~repro.core.matcher.batch_match_signatures` call (see
+DESIGN.md "Batch matrix layout").  Parameters without a columnar
+extractor transparently fall back to the object reference path.
 """
 
 from __future__ import annotations
@@ -63,8 +66,11 @@ def evaluate_trace(
     builder = SignatureBuilder(
         parameter, min_observations=cfg.min_observations
     )
+    trace.table()  # intern once; the split below shares column views
     split = trace.split(training_s)
-    database = ReferenceDatabase.from_training(builder, split.training.frames)
+    database = ReferenceDatabase.from_training_table(
+        builder, split.training.table()
+    )
     candidates = extract_window_candidates(
         split.validation, builder, database, cfg
     )

@@ -238,3 +238,17 @@ def read_trace_pcap(
 ) -> list[CapturedFrame]:
     """Load a radiotap pcap fully into memory (batch pipeline)."""
     return list(iter_trace_pcap(source, skip_bad_fcs=skip_bad_fcs))
+
+
+def read_trace_table(source: str | Path | BinaryIO | bytes, skip_bad_fcs: bool = False):
+    """Load a radiotap pcap straight into a columnar
+    :class:`~repro.traces.table.FrameTable`.
+
+    Records are decoded and interned in a single streaming pass — the
+    columnar analysis backbone never sees a :class:`Trace`
+    intermediate, and the decoded frames stay attached to the table
+    for lossless ``to_frames`` round-trips.
+    """
+    from repro.traces.table import FrameTable
+
+    return FrameTable.from_frames(iter_trace_pcap(source, skip_bad_fcs=skip_bad_fcs))

@@ -66,11 +66,26 @@ class SimulationResult:
     duration_s: float
     exchange_count: int
     collision_rounds: int
+    _table: object = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def frame_count(self) -> int:
         """Number of frames the monitor captured."""
         return len(self.captures)
+
+    def table(self):
+        """The capture as a columnar
+        :class:`~repro.traces.table.FrameTable` (interned once, cached).
+
+        The table references ``captures`` rather than copying it, so
+        analysis code gets the vectorized view at the cost of a single
+        interning pass.
+        """
+        if self._table is None:
+            from repro.traces.table import FrameTable
+
+            self._table = FrameTable.from_frames(self.captures)
+        return self._table
 
 
 class Scenario:

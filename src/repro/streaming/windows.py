@@ -21,6 +21,15 @@ long window (see :meth:`StreamingSignatureBuilder.evict_idle`).
 Window indices count *slide positions* from the stream origin, so they
 stay aligned with the batch pipeline's enumeration even when wholly
 empty stretches of the stream never open a window.
+
+One deliberate edge diverges from the batch path: when the capture's
+*last* frame sits exactly on a window boundary, ``Trace.windows``
+(whose final window is right-closed, DESIGN.md §6) folds it into the
+final regular window, while an online manager — which cannot know a
+frame is the last one until the stream ends — opens a fresh window for
+it and emits that window at :meth:`WindowManager.flush`.  Every frame
+still lands in exactly one window either way; only the terminal
+window split differs, and only on that measure-zero boundary case.
 """
 
 from __future__ import annotations

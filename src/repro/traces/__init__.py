@@ -21,10 +21,13 @@ from repro.traces.filters import (
     sent_at_rate,
 )
 from repro.traces.stats import TraceStats, summarize_trace
+from repro.traces.table import FrameTable, TableObservations, window_bounds
 from repro.traces.trace import Trace, TraceSplit
 
 __all__ = [
     "DatasetSpec",
+    "FrameTable",
+    "TableObservations",
     "Trace",
     "TraceSplit",
     "TraceStats",
@@ -38,4 +41,5 @@ __all__ = [
     "paper_datasets",
     "sent_at_rate",
     "summarize_trace",
+    "window_bounds",
 ]

@@ -10,8 +10,6 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-from repro.core.parameters import InterArrivalTime
-from repro.core.signature import SignatureBuilder
 from repro.traces.trace import Trace
 
 
@@ -45,6 +43,11 @@ def summarize_trace(
     observation rule (the parameter choice barely matters for the
     count; inter-arrival is used as in the paper's headline method).
     """
+    # Imported lazily: repro.traces must not depend on repro.core at
+    # import time (core.parameters imports the columnar table layer).
+    from repro.core.parameters import InterArrivalTime
+    from repro.core.signature import SignatureBuilder
+
     split = trace.split(training_s)
     builder = SignatureBuilder(InterArrivalTime(), min_observations=min_observations)
     references = builder.build(split.training.frames)

@@ -1,0 +1,285 @@
+"""Columnar (struct-of-arrays) trace representation.
+
+:class:`FrameTable` stores a captured frame sequence as parallel NumPy
+columns — ``timestamp_us``, ``size``, ``rate_mbps`` — plus interned
+integer codes for the sender MAC (``sender_idx``) and the frame-type
+label (``ftype_idx``).  It is the ingest-side counterpart of the packed
+reference matrices (DESIGN.md §3): every stage upstream of the
+histogram — observation extraction, window cutting, signature binning —
+can then run as whole-array NumPy operations instead of per-frame
+Python dispatch (DESIGN.md §6).
+
+Interning scheme: ``senders[sender_idx[i]]`` is frame ``i``'s sender;
+unattributable frames (ACK/CTS, the paper's ``si = null``) carry the
+sentinel ``-1`` so they still advance the channel clock in the
+time-derived parameters without ever producing an observation.
+``ftype_keys[ftype_idx[i]]`` is the histogram key.  Codes are assigned
+in first-appearance order, so downstream dict orderings match the
+object path's exactly.
+
+Tables are cheap to slice: row slices are NumPy **views** onto the
+parent's columns (zero copy), and the backing
+:class:`~repro.dot11.capture.CapturedFrame` sequence — kept for
+lossless :meth:`FrameTable.to_frames` round-trips and for consumers
+that need fields outside the columns — is shared by reference with an
+offset, never copied per window.
+
+:func:`window_bounds` is the single implementation of the evaluation
+protocol's tumbling windows, shared by :meth:`repro.traces.trace.Trace.windows`,
+:meth:`FrameTable.windows` and the detection fast path: each cut is an
+``np.searchsorted`` on the timestamp column — O(log n) per window
+instead of the former O(n) stamp-list rebuild.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, NamedTuple, Sequence
+
+import numpy as np
+
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.mac import MacAddress
+
+
+class TableObservations(NamedTuple):
+    """One parameter's vectorized observation batch over a table.
+
+    Rows are aligned across the four arrays and appear in frame order —
+    the exact sequence :meth:`~repro.core.parameters.NetworkParameter.observations`
+    yields, with ``sender_idx``/``ftype_idx`` coded against the source
+    table's intern tuples.  ``positions`` holds each observation's row
+    index in the source table, which is what lets a window slice of a
+    *whole-trace* observation batch reproduce per-window extraction
+    (the shift-and-mask argument in DESIGN.md §6).
+    """
+
+    sender_idx: np.ndarray
+    ftype_idx: np.ndarray
+    values: np.ndarray
+    positions: np.ndarray
+
+
+def window_bounds(
+    stamps: np.ndarray, window_s: float
+) -> Iterator[tuple[int, int]]:
+    """Frame-index ranges of the tumbling detection windows.
+
+    Windows are ``[start, start + step)`` except the final one, which
+    is right-**closed**: a last frame sitting exactly on a window
+    boundary belongs to the final regular window instead of spawning a
+    degenerate extra window beyond the trace span.  An empty trace
+    yields one empty window, matching the historical contract.
+    """
+    if window_s <= 0:
+        raise ValueError(f"window size must be positive: {window_s}")
+    step = window_s * 1e6
+    count = len(stamps)
+    if count == 0:
+        yield (0, 0)
+        return
+    start = float(stamps[0])
+    last = float(stamps[-1])
+    while True:
+        end = start + step
+        if end >= last:
+            yield int(np.searchsorted(stamps, start, side="left")), count
+            return
+        lo, hi = np.searchsorted(stamps, (start, end), side="left")
+        yield int(lo), int(hi)
+        start = end
+
+
+class FrameTable:
+    """A captured frame sequence as parallel columns.
+
+    Build one with :meth:`from_frames` (or the zero-copy accessors
+    ``Trace.table()`` / ``SimulationResult.table()`` /
+    :func:`repro.radiotap.pcap.read_trace_table`); slice it with
+    :meth:`slice_rows` / :meth:`slice_us` / :meth:`windows` — all views.
+    """
+
+    __slots__ = (
+        "timestamp_us",
+        "size",
+        "rate_mbps",
+        "sender_idx",
+        "ftype_idx",
+        "senders",
+        "ftype_keys",
+        "_frames",
+        "_base",
+    )
+
+    def __init__(
+        self,
+        timestamp_us: np.ndarray,
+        size: np.ndarray,
+        rate_mbps: np.ndarray,
+        sender_idx: np.ndarray,
+        ftype_idx: np.ndarray,
+        senders: tuple[MacAddress, ...],
+        ftype_keys: tuple[str, ...],
+        frames: Sequence[CapturedFrame] | None = None,
+        base: int = 0,
+    ) -> None:
+        self.timestamp_us = timestamp_us
+        self.size = size
+        self.rate_mbps = rate_mbps
+        self.sender_idx = sender_idx
+        self.ftype_idx = ftype_idx
+        self.senders = senders
+        self.ftype_keys = ftype_keys
+        self._frames = frames
+        self._base = base
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_frames(
+        cls,
+        frames: Iterable[CapturedFrame],
+        *,
+        timestamps: np.ndarray | None = None,
+    ) -> "FrameTable":
+        """Intern a frame sequence into columns in one pass.
+
+        The source frames are retained by reference (no copy), so
+        :meth:`to_frames` round-trips losslessly.  ``timestamps`` lets
+        a caller that already extracted the timestamp column (e.g.
+        :meth:`Trace.table`, whose constructor cached it) share it
+        instead of re-walking the frames.
+        """
+        backing = frames if isinstance(frames, list) else list(frames)
+        count = len(backing)
+        # Column-at-a-time fromiter passes beat a single row loop: each
+        # pass is one attribute access per frame with no index writes.
+        if timestamps is not None:
+            stamps = timestamps
+        else:
+            stamps = np.fromiter(
+                (c.timestamp_us for c in backing), dtype=np.float64, count=count
+            )
+        sizes = np.fromiter(
+            (c.frame.size for c in backing), dtype=np.float64, count=count
+        )
+        rates = np.fromiter(
+            (c.rate_mbps for c in backing), dtype=np.float64, count=count
+        )
+        sender_codes: dict[MacAddress, int] = {}
+        ftype_codes: dict = {}
+        sender_idx = np.fromiter(
+            (
+                -1
+                if (sender := c.frame.addr2) is None
+                else sender_codes.setdefault(sender, len(sender_codes))
+                for c in backing
+            ),
+            dtype=np.int64,
+            count=count,
+        )
+        ftype_idx = np.fromiter(
+            (ftype_codes.setdefault(c.frame.subtype, len(ftype_codes)) for c in backing),
+            dtype=np.int64,
+            count=count,
+        )
+        return cls(
+            timestamp_us=stamps,
+            size=sizes,
+            rate_mbps=rates,
+            sender_idx=sender_idx,
+            ftype_idx=ftype_idx,
+            senders=tuple(sender_codes),
+            ftype_keys=tuple(subtype.label for subtype in ftype_codes),
+            frames=backing,
+        )
+
+    # -- basic protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return self.timestamp_us.shape[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"<FrameTable n={len(self)} senders={len(self.senders)} "
+            f"ftypes={len(self.ftype_keys)}>"
+        )
+
+    @property
+    def start_us(self) -> float:
+        """Timestamp of the first row (0 for an empty table)."""
+        return float(self.timestamp_us[0]) if len(self) else 0.0
+
+    @property
+    def end_us(self) -> float:
+        """Timestamp of the last row (0 for an empty table)."""
+        return float(self.timestamp_us[-1]) if len(self) else 0.0
+
+    # -- round trip ----------------------------------------------------
+    def to_frames(self) -> list[CapturedFrame]:
+        """The backing captured frames (lossless round trip)."""
+        if self._frames is None:
+            raise ValueError(
+                "this FrameTable carries no backing frames; build it with "
+                "FrameTable.from_frames to round-trip"
+            )
+        return list(self._frames[self._base : self._base + len(self)])
+
+    def iter_frames(self) -> Iterator[CapturedFrame]:
+        """Iterate the backing frames without materialising a copy."""
+        if self._frames is None:
+            raise ValueError("this FrameTable carries no backing frames")
+        for row in range(self._base, self._base + len(self)):
+            yield self._frames[row]
+
+    def frame_at(self, row: int) -> CapturedFrame:
+        """The backing frame of one table row."""
+        if self._frames is None:
+            raise ValueError("this FrameTable carries no backing frames")
+        return self._frames[self._base + row]
+
+    # -- slicing (views) -----------------------------------------------
+    def slice_rows(self, lo: int, hi: int) -> "FrameTable":
+        """Row range ``[lo, hi)`` as a zero-copy view table.
+
+        Column slices are NumPy views; the intern tuples and the
+        backing frame sequence are shared with the parent.
+        """
+        return FrameTable(
+            timestamp_us=self.timestamp_us[lo:hi],
+            size=self.size[lo:hi],
+            rate_mbps=self.rate_mbps[lo:hi],
+            sender_idx=self.sender_idx[lo:hi],
+            ftype_idx=self.ftype_idx[lo:hi],
+            senders=self.senders,
+            ftype_keys=self.ftype_keys,
+            frames=self._frames,
+            base=self._base + lo,
+        )
+
+    def slice_us(self, start_us: float, end_us: float) -> "FrameTable":
+        """Rows with timestamps in ``[start_us, end_us)`` (a view)."""
+        lo, hi = np.searchsorted(self.timestamp_us, (start_us, end_us), side="left")
+        return self.slice_rows(int(lo), int(hi))
+
+    def windows(self, window_s: float) -> Iterator["FrameTable"]:
+        """Tumbling detection windows as view tables.
+
+        Same boundary semantics as :meth:`repro.traces.trace.Trace.windows`
+        (both delegate to :func:`window_bounds`).
+        """
+        for lo, hi in window_bounds(self.timestamp_us, window_s):
+            yield self.slice_rows(lo, hi)
+
+    # -- column helpers ------------------------------------------------
+    def sender_code(self, sender: MacAddress) -> int:
+        """Intern code of one sender (-1 if it never transmitted)."""
+        try:
+            return self.senders.index(sender)
+        except ValueError:
+            return -1
+
+    def mask_ftypes(self, labels: Iterable[str]) -> np.ndarray:
+        """Boolean row mask selecting the given frame-type labels."""
+        wanted = set(labels)
+        codes = [i for i, key in enumerate(self.ftype_keys) if key in wanted]
+        if not codes:
+            return np.zeros(len(self), dtype=bool)
+        return np.isin(self.ftype_idx, np.asarray(codes, dtype=np.int64))

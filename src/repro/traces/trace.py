@@ -6,17 +6,29 @@ Splitting and windowing follow the paper's evaluation protocol: a
 training prefix builds the reference database, the remainder is cut
 into fixed detection windows (5 minutes in the paper) that each yield
 one candidate signature per active device.
+
+The frames list is treated as immutable, so the timestamp column is
+extracted **once** (at construction, where it also vectorizes the
+time-order check) and every cut — :meth:`Trace.slice_us`,
+:meth:`Trace.split`, :meth:`Trace.windows` — is an ``np.searchsorted``
+on that cached array plus a frame-list slice: O(log n) per window
+instead of the former per-cut O(n) stamp-list rebuild.  Sliced traces
+share the parent's column views (and its columnar
+:class:`~repro.traces.table.FrameTable`, if built) without re-scanning
+their frames.
 """
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
+import numpy as np
+
 from repro.dot11.capture import CapturedFrame
 from repro.dot11.mac import MacAddress
+from repro.traces.table import FrameTable, window_bounds
 
 
 @dataclass
@@ -27,13 +39,40 @@ class Trace:
     name: str = ""
     encrypted: bool = False
     device_names: dict[MacAddress, str] = field(default_factory=dict)
+    #: Cached timestamp column (µs), shared with slices as a view.
+    _stamps: np.ndarray = field(
+        init=False, default=None, repr=False, compare=False
+    )
+    #: Cached columnar view, built lazily by :meth:`table`.
+    _table: FrameTable | None = field(
+        init=False, default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
-        previous = -1.0
-        for captured in self.frames:
-            if captured.timestamp_us < previous - 1e-6:
-                raise ValueError(f"trace {self.name!r} is not time-ordered")
-            previous = captured.timestamp_us
+        self._stamps = np.fromiter(
+            (captured.timestamp_us for captured in self.frames),
+            dtype=np.float64,
+            count=len(self.frames),
+        )
+        self._table = None
+        # Same tolerance as the historical per-frame check: allow
+        # sub-microsecond backwards jitter, reject real disorder.
+        if self._stamps.size > 1 and float(np.min(np.diff(self._stamps))) < -1e-6:
+            raise ValueError(f"trace {self.name!r} is not time-ordered")
+
+    @classmethod
+    def _view(cls, parent: "Trace", lo: int, hi: int) -> "Trace":
+        """A sub-trace sharing the parent's cached columns (no re-scan)."""
+        trace = cls.__new__(cls)
+        trace.frames = parent.frames[lo:hi]
+        trace.name = parent.name
+        trace.encrypted = parent.encrypted
+        trace.device_names = parent.device_names
+        trace._stamps = parent._stamps[lo:hi]
+        trace._table = (
+            parent._table.slice_rows(lo, hi) if parent._table is not None else None
+        )
+        return trace
 
     def __len__(self) -> int:
         return len(self.frames)
@@ -44,12 +83,12 @@ class Trace:
     @property
     def start_us(self) -> float:
         """Timestamp of the first frame (0 for an empty trace)."""
-        return self.frames[0].timestamp_us if self.frames else 0.0
+        return float(self._stamps[0]) if self._stamps.size else 0.0
 
     @property
     def end_us(self) -> float:
         """Timestamp of the last frame (0 for an empty trace)."""
-        return self.frames[-1].timestamp_us if self.frames else 0.0
+        return float(self._stamps[-1]) if self._stamps.size else 0.0
 
     @property
     def duration_s(self) -> float:
@@ -64,18 +103,21 @@ class Trace:
         """All frames attributed to one sender."""
         return [c for c in self.frames if c.sender == sender]
 
+    def table(self) -> FrameTable:
+        """The trace as a columnar :class:`FrameTable` (built once).
+
+        Slices taken *after* the first call share the parent table's
+        columns as views, so windowing a tabled trace never re-interns.
+        """
+        if self._table is None:
+            self._table = FrameTable.from_frames(self.frames, timestamps=self._stamps)
+        return self._table
+
     # ------------------------------------------------------------------
     def slice_us(self, start_us: float, end_us: float) -> "Trace":
         """Sub-trace with timestamps in ``[start_us, end_us)``."""
-        stamps = [c.timestamp_us for c in self.frames]
-        lo = bisect.bisect_left(stamps, start_us)
-        hi = bisect.bisect_left(stamps, end_us)
-        return Trace(
-            frames=self.frames[lo:hi],
-            name=self.name,
-            encrypted=self.encrypted,
-            device_names=self.device_names,
-        )
+        lo, hi = np.searchsorted(self._stamps, (start_us, end_us), side="left")
+        return Trace._view(self, int(lo), int(hi))
 
     def split(self, training_s: float) -> "TraceSplit":
         """Split into a training prefix and a validation remainder.
@@ -96,15 +138,14 @@ class Trace:
 
         The last partial window is included — short candidate windows
         simply yield fewer observations and fall below the
-        minimum-observation threshold naturally.
+        minimum-observation threshold naturally.  The final window is
+        right-closed, so a last frame sitting exactly on a window
+        boundary joins it instead of spawning a degenerate extra
+        window beyond the trace span (see
+        :func:`repro.traces.table.window_bounds`).
         """
-        if window_s <= 0:
-            raise ValueError(f"window size must be positive: {window_s}")
-        step = window_s * 1e6
-        start = self.start_us
-        while start <= self.end_us:
-            yield self.slice_us(start, start + step)
-            start += step
+        for lo, hi in window_bounds(self._stamps, window_s):
+            yield Trace._view(self, lo, hi)
 
     # ------------------------------------------------------------------
     def to_pcap(self, path: str | Path) -> int:

@@ -31,7 +31,7 @@ class TestTimelineInterarrivals:
             make_data_capture(2000.0, A, AP),
         ]
         values = timeline_interarrivals(frames, A)
-        assert values == [pytest.approx(400.0), pytest.approx(600.0)]
+        assert values.tolist() == [pytest.approx(400.0), pytest.approx(600.0)]
 
     def test_predicate_restricts_observations(self):
         frames = [
@@ -42,7 +42,7 @@ class TestTimelineInterarrivals:
         values = timeline_interarrivals(
             frames, A, lambda c: c.rate_mbps == 54.0
         )
-        assert values == [pytest.approx(600.0)]
+        assert values.tolist() == [pytest.approx(600.0)]
 
 
 class TestBackoffExperiment:

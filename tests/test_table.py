@@ -1,0 +1,226 @@
+"""The columnar trace backbone: FrameTable, vectorized extraction.
+
+Property-pins the tentpole equivalences of DESIGN.md §6:
+
+* ``observe_table`` reproduces ``observations()`` **bit for bit** for
+  all five parameters on arbitrary frame sequences — including
+  sender-less ACK/CTS frames that advance the channel clock without
+  ever yielding an observation;
+* ``FrameTable.from_frames`` / ``to_frames`` round-trip losslessly;
+* ``SignatureBuilder.build_table`` matches ``build`` bin for bin,
+  weight for weight, in the same dict order;
+* the columnar window-candidate fast path matches the per-window
+  object path, similarities included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import ReferenceDatabase
+from repro.core.detection import DetectionConfig, extract_window_candidates
+from repro.core.parameters import ALL_PARAMETERS
+from repro.core.signature import SignatureBuilder
+from repro.dot11.capture import CapturedFrame
+from repro.dot11.frames import Dot11Frame, FrameSubtype, ack_frame, cts_frame
+from repro.dot11.mac import vendor_mac
+from repro.dot11.phy import ALL_RATES
+from repro.traces.table import FrameTable, window_bounds
+from repro.traces.trace import Trace
+
+SENDERS = [vendor_mac("00:13:e8", i) for i in range(1, 5)]
+AP = vendor_mac("00:0f:b5", 1)
+
+_SUBTYPES = [
+    FrameSubtype.QOS_DATA,
+    FrameSubtype.DATA,
+    FrameSubtype.NULL_FUNCTION,
+    FrameSubtype.PROBE_REQUEST,
+    FrameSubtype.BEACON,
+    FrameSubtype.RTS,
+]
+
+
+@st.composite
+def capture_sequences(draw):
+    """Time-ordered frame mixes with sender-less ACK/CTS interleaved."""
+    count = draw(st.integers(min_value=0, max_value=80))
+    frames = []
+    t = 0.0
+    for _ in range(count):
+        t += draw(st.floats(min_value=0.0, max_value=5000.0))
+        kind = draw(st.integers(min_value=0, max_value=9))
+        if kind == 0:
+            frame = ack_frame(draw(st.sampled_from(SENDERS)))
+        elif kind == 1:
+            frame = cts_frame(draw(st.sampled_from(SENDERS)))
+        else:
+            frame = Dot11Frame(
+                subtype=draw(st.sampled_from(_SUBTYPES)),
+                size=draw(st.integers(min_value=20, max_value=2400)),
+                addr1=AP,
+                addr2=draw(st.sampled_from(SENDERS)),
+                addr3=AP,
+            )
+        frames.append(
+            CapturedFrame(
+                timestamp_us=t,
+                frame=frame,
+                rate_mbps=draw(st.sampled_from(ALL_RATES)),
+            )
+        )
+    return frames
+
+
+class TestObserveTableEquivalence:
+    @given(frames=capture_sequences())
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_observe_table_matches_observations_bitwise(self, frames):
+        table = FrameTable.from_frames(frames)
+        for parameter in ALL_PARAMETERS:
+            scalar = list(parameter.observations(frames))
+            batch = parameter.observe_table(table)
+            assert batch is not None
+            assert len(scalar) == batch.values.shape[0], parameter.name
+            for row, observation in enumerate(scalar):
+                assert table.senders[batch.sender_idx[row]] == observation.sender
+                assert table.ftype_keys[batch.ftype_idx[row]] == observation.ftype_key
+                # Bit-for-bit, not approx: the vectorized arithmetic
+                # must replay the scalar operations exactly.
+                assert batch.values[row] == observation.value, parameter.name
+
+    @given(frames=capture_sequences())
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_from_frames_to_frames_round_trip(self, frames):
+        table = FrameTable.from_frames(frames)
+        assert table.to_frames() == frames
+        # Row slices round-trip the corresponding sub-list.
+        if len(frames) >= 2:
+            lo, hi = 1, len(frames) - 1
+            assert table.slice_rows(lo, hi).to_frames() == frames[lo:hi]
+
+    @given(frames=capture_sequences())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_build_table_matches_build(self, frames):
+        for parameter in ALL_PARAMETERS:
+            builder = SignatureBuilder(parameter, min_observations=1)
+            table = FrameTable.from_frames(frames)
+            scalar = builder.build(frames)
+            columnar = builder.build_table(table)
+            assert list(scalar) == list(columnar), parameter.name
+            for device, expected in scalar.items():
+                actual = columnar[device]
+                assert list(expected.histograms) == list(actual.histograms)
+                for key, histogram in expected.histograms.items():
+                    assert np.array_equal(histogram, actual.histograms[key])
+                    assert expected.weights[key] == actual.weights[key]
+                    assert (
+                        expected.observation_counts[key]
+                        == actual.observation_counts[key]
+                    )
+
+
+class TestTableSlicing:
+    def _frames(self, stamps):
+        return [
+            CapturedFrame(
+                timestamp_us=t,
+                frame=Dot11Frame(
+                    subtype=FrameSubtype.QOS_DATA, size=100, addr1=AP,
+                    addr2=SENDERS[0], addr3=AP,
+                ),
+                rate_mbps=54.0,
+            )
+            for t in stamps
+        ]
+
+    def test_slice_us_is_a_view(self):
+        table = FrameTable.from_frames(self._frames([0.0, 10.0, 20.0, 30.0]))
+        window = table.slice_us(10.0, 30.0)
+        assert len(window) == 2
+        assert window.timestamp_us.base is not None  # view, not copy
+        assert window.senders is table.senders
+        assert window.to_frames() == table.to_frames()[1:3]
+
+    def test_windows_match_trace_windows(self):
+        stamps = [0.0, 40.0, 100.0, 160.0, 200.0]
+        frames = self._frames(stamps)
+        table = FrameTable.from_frames(frames)
+        trace = Trace(frames=frames)
+        for window_s in (100 / 1e6, 60 / 1e6, 250 / 1e6):
+            table_lens = [len(w) for w in table.windows(window_s)]
+            trace_lens = [len(w) for w in trace.windows(window_s)]
+            assert table_lens == trace_lens
+
+    def test_window_bounds_cover_all_frames(self):
+        stamps = np.array([0.0, 30.0, 60.0, 90.0])
+        bounds = list(window_bounds(stamps, 30 / 1e6))
+        assert bounds[0][0] == 0 and bounds[-1][1] == len(stamps)
+        covered = sum(hi - lo for lo, hi in bounds)
+        assert covered == len(stamps)
+
+    def test_mask_ftypes_and_sender_code(self):
+        frames = self._frames([0.0, 5.0]) + [
+            CapturedFrame(timestamp_us=9.0, frame=ack_frame(SENDERS[0]), rate_mbps=1.0)
+        ]
+        table = FrameTable.from_frames(frames)
+        assert table.mask_ftypes({"QoS Data"}).sum() == 2
+        assert table.mask_ftypes({"Beacon"}).sum() == 0
+        assert table.sender_code(SENDERS[0]) == 0
+        assert table.sender_code(SENDERS[3]) == -1
+
+    def test_read_trace_table_matches_read_trace_pcap(self, tmp_path):
+        from repro.radiotap.pcap import read_trace_pcap, read_trace_table, write_trace_pcap
+
+        frames = self._frames([0.0, 100.0, 250.0]) + [
+            CapturedFrame(timestamp_us=300.0, frame=ack_frame(SENDERS[0]), rate_mbps=1.0)
+        ]
+        path = tmp_path / "t.pcap"
+        write_trace_pcap(path, frames)
+        table = read_trace_table(path)
+        assert table.to_frames() == read_trace_pcap(path)
+        assert len(table) == 4
+        assert table.sender_idx.tolist()[-1] == -1  # ACK stays sender-less
+
+    def test_to_frames_requires_backing(self):
+        table = FrameTable.from_frames(self._frames([0.0]))
+        bare = FrameTable(
+            timestamp_us=table.timestamp_us,
+            size=table.size,
+            rate_mbps=table.rate_mbps,
+            sender_idx=table.sender_idx,
+            ftype_idx=table.ftype_idx,
+            senders=table.senders,
+            ftype_keys=table.ftype_keys,
+        )
+        with pytest.raises(ValueError):
+            bare.to_frames()
+
+
+class TestColumnarDetectionEquivalence:
+    @pytest.mark.parametrize("parameter", ALL_PARAMETERS, ids=lambda p: p.name)
+    def test_window_candidates_match_object_path(
+        self, small_office_trace, parameter
+    ):
+        builder = SignatureBuilder(parameter, min_observations=10)
+        split = small_office_trace.split(30.0)
+        database = ReferenceDatabase.from_training(builder, split.training.frames)
+        table_db = ReferenceDatabase.from_training_table(
+            builder, split.training.table()
+        )
+        assert database.devices == table_db.devices
+        config = DetectionConfig(window_s=10.0, min_observations=10)
+        reference = extract_window_candidates(
+            split.validation, builder, database, config, columnar=False
+        )
+        columnar = extract_window_candidates(
+            split.validation, builder, database, config, columnar=True
+        )
+        assert [(c.device, c.window_index) for c in reference] == [
+            (c.device, c.window_index) for c in columnar
+        ]
+        for expected, actual in zip(reference, columnar):
+            assert expected.similarities == actual.similarities

@@ -82,6 +82,35 @@ class TestSlicing:
         with pytest.raises(ValueError):
             list(_trace().windows(0.0))
 
+    def test_no_trailing_degenerate_window_on_exact_boundary(self):
+        """Regression: a last frame exactly on a window boundary joins
+        the final window instead of spawning an extra one-frame window
+        beyond the trace span."""
+        frames = [make_data_capture(t, A, AP) for t in (0.0, 50.0, 100.0)]
+        trace = Trace(frames=frames)
+        windows = list(trace.windows(window_s=100 / 1e6))  # span == 1 window
+        assert [len(w) for w in windows] == [3]
+
+        windows = list(trace.windows(window_s=50 / 1e6))  # span == 2 windows
+        assert [len(w) for w in windows] == [1, 2]
+        assert sum(len(w) for w in windows) == len(trace)
+
+    def test_windows_final_window_is_right_closed_only(self):
+        # A non-boundary tail behaves exactly as before.
+        frames = [make_data_capture(t, A, AP) for t in (0.0, 50.0, 120.0)]
+        windows = list(Trace(frames=frames).windows(window_s=50 / 1e6))
+        assert [len(w) for w in windows] == [1, 1, 1]
+
+    def test_windows_on_empty_trace(self):
+        assert [len(w) for w in Trace(frames=[]).windows(1.0)] == [0]
+
+    def test_slice_shares_cached_stamps(self):
+        trace = _trace(50, gap_us=1e4)
+        window = trace.slice_us(1e5, 3e5)
+        # The slice's timestamp cache is a view of the parent's.
+        assert window._stamps.base is trace._stamps
+        assert window.slice_us(1e5, 2e5).start_us >= 1e5
+
 
 class TestPcapRoundTrip:
     def test_to_from_pcap(self, tmp_path):
