@@ -22,6 +22,7 @@ import pytest
 from repro.core.detection import DetectionConfig
 from repro.core.parameters import ALL_PARAMETERS, parameter_by_name
 from repro.core.pipeline import EvaluationResult, evaluate_trace
+from repro.evaluation.cache import SimulationCache as _SharedSimulationCache
 from repro.traces.datasets import paper_datasets
 from repro.traces.trace import Trace
 
@@ -144,39 +145,29 @@ def datasets() -> dict[str, tuple[Trace, float]]:
     return paper_datasets(scale=bench_scale())
 
 
-class SimulationCache:
-    """Session-wide memo for the Section VI factor experiments.
+class SimulationCache(_SharedSimulationCache):
+    """Session-wide memo for factor experiments and library scenarios.
 
-    The figure benchmarks each drive one or more scenario simulations;
-    re-running the suite-level sweep (or several figures sharing a
-    configuration) used to re-simulate identical scenarios from
-    scratch.  Runs are memoised on ``(experiment name, duration, seed,
-    scale)`` — the full determinism key, since every scenario is seeded
-    — so each distinct simulation happens at most once per session.
+    The machinery lives in :class:`repro.evaluation.cache.
+    SimulationCache` (the evaluation matrix shares it); this bench
+    variant only folds the ambient ``REPRO_BENCH_SCALE`` into the
+    experiment cache key.  Runs are memoised on their full determinism
+    key — every scenario is seeded — so each distinct simulation
+    happens at most once per session.
     """
-
-    def __init__(self) -> None:
-        self._results: dict[tuple, object] = {}
 
     def experiment(
         self, name: str, duration_s: float, seed: int | None = None
     ):
         """Run (or recall) one factor experiment by short name."""
-        from repro.analysis import factors
-
-        runner = getattr(factors, f"{name}_experiment")
-        key = (name, duration_s, seed, bench_scale())
-        if key not in self._results:
-            kwargs = {"duration_s": duration_s}
-            if seed is not None:
-                kwargs["seed"] = seed
-            self._results[key] = runner(**kwargs)
-        return self._results[key]
+        return super().experiment(
+            name, duration_s, seed=seed, scale=bench_scale()
+        )
 
 
 @pytest.fixture(scope="session")
 def sim_cache() -> SimulationCache:
-    """Shared scenario memo for the figure-reproduction benchmarks."""
+    """Shared scenario memo for the figure and matrix benchmarks."""
     return SimulationCache()
 
 

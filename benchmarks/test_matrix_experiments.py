@@ -1,0 +1,89 @@
+"""The cross-scenario evaluation matrix as a benchmark artifact.
+
+Runs the scenario-library matrix (every preset × all five parameters ×
+two similarity measures; smoke mode shrinks it to 2 × 2 × 1), checks
+the golden-pinned office-baseline cells reproduce the PR 3 regression
+numbers bit-for-bit, and emits ``BENCH_experiments.json`` alongside
+the other perf-gate artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks.conftest import bench_smoke
+
+from repro.analysis.plots import render_table
+from repro.evaluation import run_matrix
+
+GOLDEN_OFFICE = (
+    Path(__file__).parent.parent / "tests" / "golden" / "evaluate_small_office.json"
+)
+
+SMOKE_SCENARIOS = ("office-baseline", "iot-swarm")
+SMOKE_PARAMETERS = ("rate", "size")
+
+
+def test_matrix_experiments(sim_cache):
+    if bench_smoke():
+        scenarios: tuple[str, ...] | None = SMOKE_SCENARIOS
+        parameters: tuple[str, ...] | None = SMOKE_PARAMETERS
+        measures = ("cosine",)
+    else:
+        scenarios = None  # the full library
+        parameters = None  # all five network parameters
+        measures = ("cosine", "intersection")
+
+    matrix = run_matrix(
+        scenarios=scenarios,
+        parameters=parameters,
+        measures=measures,
+        cache=sim_cache,
+    )
+
+    rows = [
+        (
+            cell.scenario,
+            cell.parameter,
+            cell.measure,
+            f"{cell.auc:.3f}",
+            f"{cell.identification_at_0_1:.3f}",
+            str(cell.reference_devices),
+        )
+        for cell in matrix.cells
+    ]
+    print()
+    print(
+        render_table(
+            ["scenario", "parameter", "measure", "AUC", "ident@0.1", "refs"],
+            rows,
+            title=f"evaluation matrix ({len(matrix)} cells)",
+        )
+    )
+
+    # Every cell is a real measurement over a populated scenario.
+    for cell in matrix.cells:
+        assert 0.0 <= cell.auc <= 1.0
+        assert cell.reference_devices >= 2
+        assert cell.total_candidates > 0
+        assert cell.frame_count > 0
+
+    # The office-baseline cells must reproduce the golden regression
+    # numbers (tests/golden/) through the matrix harness, exactly.
+    golden = json.loads(GOLDEN_OFFICE.read_text())["parameters"]
+    office = matrix.subset(scenarios=["office-baseline"], measures=["cosine"])
+    assert len(office) > 0
+    for cell in office.cells:
+        expected = golden[cell.parameter]
+        assert cell.auc == expected["auc"], (
+            f"office-baseline {cell.parameter} drifted from golden"
+        )
+        assert cell.identification_at_0_1 == expected["identification_at_0.1"]
+        assert cell.reference_devices == expected["reference_devices"]
+
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = matrix.save(out_dir / "BENCH_experiments.json")
+    print(f"matrix -> {path}")

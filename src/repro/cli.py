@@ -12,6 +12,12 @@ simulator-produced):
   windows against the database;
 * ``repro-80211 evaluate capture.pcap --training-s 600`` — run the
   full similarity/identification evaluation on one capture;
+* ``repro-80211 evaluate --out BENCH_experiments.json`` — no pcap:
+  run the cross-scenario evaluation matrix over the scenario library
+  ((scenario × parameter × measure) cells, DESIGN.md §7), with
+  ``--scenario``/``--parameter``/``--measure`` subsetting and
+  ``--resume`` to skip cells an earlier partial run already wrote;
+* ``repro-80211 scenarios list`` — the bundled scenario library;
 * ``repro-80211 simulate office --out office.pcap`` — produce a
   synthetic dataset pcap;
 * ``repro-80211 histogram capture.pcap --device <mac>`` — render a
@@ -151,6 +157,17 @@ def _cmd_match(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    if args.pcap is None:
+        return _cmd_evaluate_matrix(args)
+    if args.scenario:
+        print(
+            "evaluate: give either a pcap or --scenario, not both",
+            file=sys.stderr,
+        )
+        return 2
+    if args.training_s is None:
+        print("evaluate: --training-s is required with a pcap", file=sys.stderr)
+        return 2
     trace = Trace.from_pcap(args.pcap)
     config = DetectionConfig(
         window_s=args.window_s, min_observations=args.min_observations
@@ -171,6 +188,117 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             ["parameter", "AUC", "ident@FPR=0.01", "ident@FPR=0.1"],
             rows,
             title=f"{args.pcap}: {len(trace)} frames",
+        )
+    )
+    return 0
+
+
+def _cmd_evaluate_matrix(args: argparse.Namespace) -> int:
+    from repro.evaluation import (
+        DEFAULT_MEASURES,
+        EvaluationMatrix,
+        SimulationCache,
+        run_matrix,
+    )
+    from repro.scenarios import scenario_names
+
+    available = scenario_names()
+    scenarios = args.scenario or list(available)
+    for name in scenarios:
+        if name not in available:
+            print(
+                f"unknown scenario {name!r}; available: {', '.join(available)}",
+                file=sys.stderr,
+            )
+            return 2
+    measures = args.measure or list(DEFAULT_MEASURES)
+
+    resume = None
+    if args.resume:
+        out_path = Path(args.out) if args.out else None
+        if out_path is None or not out_path.exists():
+            print(
+                "--resume: nothing to resume "
+                f"({'no --out given' if out_path is None else f'{out_path} missing'}); "
+                "running the full grid",
+                file=sys.stderr,
+            )
+        else:
+            resume = EvaluationMatrix.load(out_path)
+            print(f"resuming: {len(resume)} cells already in {out_path}")
+
+    def progress(key, cell, was_resumed):
+        tag = "cached" if was_resumed else f"auc={cell.auc:.3f}"
+        print(f"  {key.scenario} × {key.parameter} × {key.measure}: {tag}")
+
+    matrix = run_matrix(
+        scenarios=scenarios,
+        parameters=args.parameter or None,
+        measures=measures,
+        cache=SimulationCache(),
+        scale=args.scale,
+        resume=resume,
+        progress=progress if args.verbose else None,
+    )
+    rows = [
+        (
+            cell.scenario,
+            cell.parameter,
+            cell.measure,
+            f"{cell.auc:.3f}",
+            f"{cell.identification_at_0_01:.3f}",
+            f"{cell.identification_at_0_1:.3f}",
+            str(cell.reference_devices),
+        )
+        for cell in matrix.cells
+    ]
+    print(
+        render_table(
+            [
+                "scenario",
+                "parameter",
+                "measure",
+                "AUC",
+                "ident@0.01",
+                "ident@0.1",
+                "refs",
+            ],
+            rows,
+            title=(
+                f"evaluation matrix: {len(matrix.scenarios())} scenarios × "
+                f"{len(matrix.parameters())} parameters × "
+                f"{len(matrix.measures())} measures = {len(matrix)} cells"
+            ),
+        )
+    )
+    if args.out:
+        path = matrix.save(args.out)
+        print(f"matrix -> {path}")
+    return 0
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import build_scenario, scenario_names
+
+    rows = []
+    for name in scenario_names():
+        meta = build_scenario(name).metadata
+        rows.append(
+            (
+                name,
+                str(meta.station_count),
+                f"{meta.duration_s:.0f}",
+                str(meta.ap_count),
+                "yes" if meta.encrypted else "no",
+                f"{meta.window_s:.0f}",
+                ",".join(meta.traffic_mix),
+            )
+        )
+    print(
+        render_table(
+            ["scenario", "stations", "dur s", "APs", "enc", "win s", "traffic"],
+            rows,
+            title="scenario library",
         )
     )
     return 0
@@ -480,12 +608,61 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--min-observations", type=int, default=50)
     match.set_defaults(func=_cmd_match)
 
-    evaluate = sub.add_parser("evaluate", help="full evaluation on one capture")
-    evaluate.add_argument("pcap")
-    evaluate.add_argument("--training-s", type=float, required=True)
+    evaluate = sub.add_parser(
+        "evaluate",
+        help="full evaluation on one capture, or the cross-scenario "
+        "matrix when no pcap is given",
+    )
+    evaluate.add_argument(
+        "pcap", nargs="?", help="capture to evaluate (omit for matrix mode)"
+    )
+    evaluate.add_argument(
+        "--training-s", type=float, help="training prefix (pcap mode)"
+    )
     evaluate.add_argument("--window-s", type=float, default=300.0)
     evaluate.add_argument("--min-observations", type=int, default=50)
+    evaluate.add_argument(
+        "--scenario",
+        action="append",
+        help="library scenario to evaluate (repeatable; default: all)",
+    )
+    evaluate.add_argument(
+        "--parameter",
+        action="append",
+        choices=[p.name for p in ALL_PARAMETERS],
+        help="network parameter axis (repeatable; default: all five)",
+    )
+    evaluate.add_argument(
+        "--measure",
+        action="append",
+        help="similarity measure axis (repeatable; default: cosine, "
+        "intersection)",
+    )
+    evaluate.add_argument(
+        "--out", help="write the matrix as BENCH_experiments.json here"
+    )
+    evaluate.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already present in --out from a previous run",
+    )
+    evaluate.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="station-count scale factor for matrix scenarios",
+    )
+    evaluate.add_argument(
+        "--verbose", action="store_true", help="print each cell as it finishes"
+    )
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    scenarios = sub.add_parser("scenarios", help="inspect the scenario library")
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scenarios_list = scenarios_sub.add_parser(
+        "list", help="list the bundled scenario presets"
+    )
+    scenarios_list.set_defaults(func=_cmd_scenarios_list)
 
     stream = sub.add_parser(
         "stream", help="online fingerprinting over a pcap (bounded memory)"

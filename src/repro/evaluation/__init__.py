@@ -1,0 +1,29 @@
+"""Cross-scenario evaluation harness (DESIGN.md §7).
+
+Runs (scenario × parameter × similarity measure) cells of the
+scenario library through the columnar evaluation pipeline and collects
+them into one machine-readable :class:`EvaluationMatrix`
+(``BENCH_experiments.json``).
+"""
+
+from repro.evaluation.cache import SimulationCache
+from repro.evaluation.matrix import (
+    DEFAULT_MEASURES,
+    CellKey,
+    EvaluationMatrix,
+    MatrixCell,
+    evaluate_cell,
+    matrix_cells,
+    run_matrix,
+)
+
+__all__ = [
+    "DEFAULT_MEASURES",
+    "CellKey",
+    "EvaluationMatrix",
+    "MatrixCell",
+    "SimulationCache",
+    "evaluate_cell",
+    "matrix_cells",
+    "run_matrix",
+]

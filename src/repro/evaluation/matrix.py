@@ -1,0 +1,318 @@
+"""Cross-scenario evaluation matrix (DESIGN.md §7).
+
+The paper reports Tables II/III on four traces; the matrix generalises
+that to (scenario × parameter × similarity measure) cells over the
+scenario library.  Each cell runs :func:`~repro.core.pipeline.
+evaluate_trace` on the columnar path, under the scenario preset's own
+pinned protocol settings (training split, window length, minimum
+observations) — so a cell is a *named, reproducible measurement*, not
+a one-off number.
+
+The resulting :class:`EvaluationMatrix` is a value object: cells are
+keyed by (scenario, parameter, measure), serialisation is canonical
+(sorted cells, round-trip-exact floats), ``subset``/``merge`` support
+sharding a sweep across runs, and ``run_matrix(..., resume=...)``
+skips cells an earlier (partial) run already produced.  ``save``
+writes the ``BENCH_experiments.json`` artifact in the same schema
+family as the other ``BENCH_*.json`` perf gates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.core.detection import DetectionConfig
+from repro.core.parameters import ALL_PARAMETERS, parameter_by_name
+from repro.core.pipeline import evaluate_trace
+from repro.core.similarity import similarity_measure_by_name
+from repro.evaluation.cache import SimulationCache
+from repro.scenarios.library import scenario_names
+
+#: Default measure axis: the paper's choice plus one cheap alternative.
+DEFAULT_MEASURES: tuple[str, ...] = ("cosine", "intersection")
+
+#: FPR budgets reported per cell (the paper's Table III columns).
+FPR_BUDGETS: tuple[float, ...] = (0.01, 0.1)
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """Coordinates of one matrix cell."""
+
+    scenario: str
+    parameter: str
+    measure: str
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One evaluated cell: coordinates, protocol settings, results."""
+
+    scenario: str
+    parameter: str
+    measure: str
+    auc: float
+    identification_at_0_01: float
+    identification_at_0_1: float
+    reference_devices: int
+    known_candidates: int
+    total_candidates: int
+    station_count: int
+    frame_count: int
+    duration_s: float
+    seed: int
+    training_s: float
+    window_s: float
+    min_observations: int
+
+    @property
+    def key(self) -> CellKey:
+        return CellKey(self.scenario, self.parameter, self.measure)
+
+    def to_payload(self) -> dict:
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        # JSON keys keep the human-readable FPR budget spelling.
+        payload["identification_at_0.01"] = payload.pop("identification_at_0_01")
+        payload["identification_at_0.1"] = payload.pop("identification_at_0_1")
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MatrixCell":
+        data = dict(payload)
+        data["identification_at_0_01"] = data.pop("identification_at_0.01")
+        data["identification_at_0_1"] = data.pop("identification_at_0.1")
+        return cls(**data)
+
+
+class EvaluationMatrix:
+    """A set of evaluated cells with canonical, lossless serialisation.
+
+    Equal matrices serialise identically regardless of the order their
+    cells were produced in; ``merge`` of disjoint subsets reproduces
+    the full matrix bit-for-bit (both properties are Hypothesis-pinned
+    in ``tests/test_evaluation_properties.py``).
+    """
+
+    def __init__(self, cells: Iterable[MatrixCell] = ()) -> None:
+        self._cells: dict[CellKey, MatrixCell] = {}
+        for cell in cells:
+            self.add(cell)
+
+    def add(self, cell: MatrixCell) -> None:
+        """Insert one cell; re-adding an identical cell is a no-op.
+
+        A *conflicting* cell (same coordinates, different numbers)
+        raises — two runs disagreeing on a deterministic measurement
+        is a bug, never something to merge silently.
+        """
+        existing = self._cells.get(cell.key)
+        if existing is not None and existing != cell:
+            raise ValueError(
+                f"conflicting results for cell {cell.key}: "
+                f"{existing} != {cell}"
+            )
+        self._cells[cell.key] = cell
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, key: CellKey) -> bool:
+        return key in self._cells
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EvaluationMatrix):
+            return NotImplemented
+        return self._cells == other._cells
+
+    def get(self, key: CellKey) -> MatrixCell | None:
+        return self._cells.get(key)
+
+    @property
+    def cells(self) -> tuple[MatrixCell, ...]:
+        """All cells in canonical (scenario, parameter, measure) order."""
+        return tuple(
+            self._cells[key]
+            for key in sorted(
+                self._cells, key=lambda k: (k.scenario, k.parameter, k.measure)
+            )
+        )
+
+    def scenarios(self) -> tuple[str, ...]:
+        return tuple(sorted({c.scenario for c in self._cells.values()}))
+
+    def parameters(self) -> tuple[str, ...]:
+        return tuple(sorted({c.parameter for c in self._cells.values()}))
+
+    def measures(self) -> tuple[str, ...]:
+        return tuple(sorted({c.measure for c in self._cells.values()}))
+
+    def subset(
+        self,
+        scenarios: Sequence[str] | None = None,
+        parameters: Sequence[str] | None = None,
+        measures: Sequence[str] | None = None,
+    ) -> "EvaluationMatrix":
+        """Cells matching every given axis filter (``None`` = all)."""
+        picked = [
+            cell
+            for cell in self._cells.values()
+            if (scenarios is None or cell.scenario in scenarios)
+            and (parameters is None or cell.parameter in parameters)
+            and (measures is None or cell.measure in measures)
+        ]
+        return EvaluationMatrix(picked)
+
+    def merge(self, other: "EvaluationMatrix") -> "EvaluationMatrix":
+        """Union of two matrices (conflicting cells raise)."""
+        merged = EvaluationMatrix(self._cells.values())
+        for cell in other._cells.values():
+            merged.add(cell)
+        return merged
+
+    # -- serialisation -------------------------------------------------
+    def to_payload(self) -> dict:
+        """Canonical JSON-ready form (sorted cells, exact floats)."""
+        return {
+            "cell_count": len(self),
+            "scenarios": list(self.scenarios()),
+            "parameters": list(self.parameters()),
+            "measures": list(self.measures()),
+            "cells": [cell.to_payload() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "EvaluationMatrix":
+        return cls(MatrixCell.from_payload(raw) for raw in payload["cells"])
+
+    def save(self, path: str | Path) -> Path:
+        """Write the ``BENCH_experiments.json``-style artifact.
+
+        Same schema family as the perf-gate artifacts: the matrix
+        payload enriched with ``benchmark``/``smoke_mode``/platform
+        keys (``load`` ignores the enrichment).
+        """
+        path = Path(path)
+        payload = self.to_payload()
+        payload.setdefault("benchmark", "experiments")
+        payload.setdefault(
+            "smoke_mode",
+            os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0"),
+        )
+        payload.setdefault("python", platform.python_version())
+        payload.setdefault("machine", platform.machine())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EvaluationMatrix":
+        return cls.from_payload(json.loads(Path(path).read_text()))
+
+
+def matrix_cells(
+    scenarios: Sequence[str] | None = None,
+    parameters: Sequence[str] | None = None,
+    measures: Sequence[str] = DEFAULT_MEASURES,
+) -> list[CellKey]:
+    """The cell grid for the given axes (defaults: full library × all
+    five parameters × :data:`DEFAULT_MEASURES`)."""
+    chosen_scenarios = (
+        tuple(scenarios) if scenarios is not None else scenario_names()
+    )
+    chosen_parameters = (
+        tuple(parameters)
+        if parameters is not None
+        else tuple(p.name for p in ALL_PARAMETERS)
+    )
+    return [
+        CellKey(scenario, parameter, measure)
+        for scenario in chosen_scenarios
+        for parameter in chosen_parameters
+        for measure in measures
+    ]
+
+
+def evaluate_cell(
+    key: CellKey,
+    cache: SimulationCache | None = None,
+    duration_s: float | None = None,
+    seed: int | None = None,
+    scale: float = 1.0,
+) -> MatrixCell:
+    """Run one (scenario, parameter, measure) cell.
+
+    The scenario is simulated (or recalled from ``cache``) under its
+    preset defaults unless overridden; the evaluation protocol
+    settings always come from the preset, so two cells of one scenario
+    differ only along the parameter/measure axes.
+    """
+    chosen_cache = cache if cache is not None else SimulationCache()
+    built = chosen_cache.built_scenario(
+        key.scenario, duration_s=duration_s, seed=seed, scale=scale
+    )
+    meta = built.metadata
+    trace = built.simulate()
+    config = DetectionConfig(
+        window_s=meta.window_s,
+        min_observations=meta.min_observations,
+        measure=similarity_measure_by_name(key.measure),
+    )
+    result = evaluate_trace(
+        trace, parameter_by_name(key.parameter), meta.training_s, config
+    )
+    return MatrixCell(
+        scenario=key.scenario,
+        parameter=key.parameter,
+        measure=key.measure,
+        auc=result.auc,
+        identification_at_0_01=result.identification_at(FPR_BUDGETS[0]),
+        identification_at_0_1=result.identification_at(FPR_BUDGETS[1]),
+        reference_devices=result.reference_devices,
+        known_candidates=result.similarity.known_candidates,
+        total_candidates=result.similarity.total_candidates,
+        station_count=meta.station_count,
+        frame_count=len(trace),
+        duration_s=meta.duration_s,
+        seed=meta.seed,
+        training_s=meta.training_s,
+        window_s=meta.window_s,
+        min_observations=meta.min_observations,
+    )
+
+
+def run_matrix(
+    scenarios: Sequence[str] | None = None,
+    parameters: Sequence[str] | None = None,
+    measures: Sequence[str] = DEFAULT_MEASURES,
+    cache: SimulationCache | None = None,
+    scale: float = 1.0,
+    resume: EvaluationMatrix | None = None,
+    progress: Callable[[CellKey, MatrixCell, bool], None] | None = None,
+) -> EvaluationMatrix:
+    """Evaluate the full cell grid (optionally resuming a prior run).
+
+    ``resume`` cells are adopted verbatim and skipped; ``progress`` is
+    called after every cell with ``(key, cell, was_resumed)``.  Cell
+    evaluation order never affects the result — cells are independent
+    measurements and the matrix serialises canonically.
+    """
+    keys = matrix_cells(scenarios, parameters, measures)
+    chosen_cache = cache if cache is not None else SimulationCache()
+    matrix = EvaluationMatrix()
+    for key in keys:
+        resumed = resume.get(key) if resume is not None else None
+        if resumed is not None:
+            matrix.add(resumed)
+            if progress is not None:
+                progress(key, resumed, True)
+            continue
+        cell = evaluate_cell(key, cache=chosen_cache, scale=scale)
+        matrix.add(cell)
+        if progress is not None:
+            progress(key, cell, False)
+    return matrix

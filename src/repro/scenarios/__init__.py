@@ -1,0 +1,27 @@
+"""Declarative scenario library (DESIGN.md §7).
+
+Named, parameterized scenario presets on top of
+:class:`~repro.simulator.scenario.Scenario` — the workload axis of the
+evaluation matrix.  ``scenario_names()`` lists the bundled presets;
+``build_scenario(name)`` materialises one, validated and fully seeded.
+"""
+
+from repro.scenarios.library import (
+    BuiltScenario,
+    ScenarioMetadata,
+    ScenarioPreset,
+    build_scenario,
+    scenario_by_name,
+    scenario_names,
+    scenario_preset,
+)
+
+__all__ = [
+    "BuiltScenario",
+    "ScenarioMetadata",
+    "ScenarioPreset",
+    "build_scenario",
+    "scenario_by_name",
+    "scenario_names",
+    "scenario_preset",
+]

@@ -123,8 +123,53 @@ class Scenario:
         self.specs: list[StationSpec] = []
 
     def add_station(self, spec: StationSpec) -> None:
-        """Register one client station spec."""
+        """Register one client station spec.
+
+        Explicit MAC collisions are rejected here — at construction —
+        rather than surfacing as two stations silently sharing an
+        identity deep inside the event loop.
+        """
+        if spec.mac is not None:
+            for existing in self.specs:
+                if existing.mac is not None and existing.mac == spec.mac:
+                    raise ValueError(
+                        f"station {spec.name!r}: MAC {spec.mac} already "
+                        f"assigned to station {existing.name!r}"
+                    )
         self.specs.append(spec)
+
+    def validate(self) -> None:
+        """Check the assembled scenario is runnable, before wiring.
+
+        Raises :class:`ValueError` for specs that would otherwise fail
+        (or silently misbehave) deep inside the event loop: no stations
+        at all, duplicate station names or MACs, departure before
+        arrival, negative arrival times.  The scenario library calls
+        this on every preset it builds.
+        """
+        if not self.specs:
+            raise ValueError("scenario has no stations")
+        names: dict[str, StationSpec] = {}
+        macs: dict[MacAddress, StationSpec] = {}
+        for spec in self.specs:
+            if spec.name in names:
+                raise ValueError(f"duplicate station name: {spec.name!r}")
+            names[spec.name] = spec
+            if spec.mac is not None:
+                if spec.mac in macs:
+                    raise ValueError(
+                        f"station {spec.name!r}: MAC {spec.mac} already "
+                        f"assigned to station {macs[spec.mac].name!r}"
+                    )
+                macs[spec.mac] = spec
+            if spec.arrival_s < 0:
+                raise ValueError(
+                    f"station {spec.name!r}: negative arrival {spec.arrival_s}"
+                )
+            if spec.departure_s is not None and spec.departure_s < spec.arrival_s:
+                raise ValueError(
+                    f"station {spec.name!r}: departure before arrival"
+                )
 
     # ------------------------------------------------------------------
     def _profile_services(

@@ -303,3 +303,86 @@ class TestStreamCheckpointCli:
         # so the resumed run skips it all: the frame count must stay at
         # the original total instead of doubling.
         assert f"streamed {total} frames" in out
+
+
+class TestScenarioCommands:
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "office-baseline" in out
+        assert "iot-swarm" in out
+        assert "traffic" in out
+
+    def test_evaluate_matrix_writes_bench_json(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_experiments.json"
+        code = main(
+            [
+                "evaluate",
+                "--scenario",
+                "office-baseline",
+                "--parameter",
+                "rate",
+                "--measure",
+                "cosine",
+                "--out",
+                str(out_path),
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "evaluation matrix" in out
+        assert "office-baseline" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["benchmark"] == "experiments"
+        assert payload["cell_count"] == 1
+        cell = payload["cells"][0]
+        assert cell["scenario"] == "office-baseline"
+        assert cell["parameter"] == "rate"
+        assert cell["measure"] == "cosine"
+        assert 0.0 <= cell["auc"] <= 1.0
+
+    def test_evaluate_matrix_resume(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_experiments.json"
+        base = [
+            "evaluate",
+            "--scenario",
+            "office-baseline",
+            "--measure",
+            "cosine",
+            "--out",
+            str(out_path),
+        ]
+        assert main(base + ["--parameter", "rate"]) == 0
+        capsys.readouterr()
+        code = main(
+            base + ["--parameter", "rate", "--parameter", "size", "--resume"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resuming: 1 cells" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["cell_count"] == 2
+
+    def test_evaluate_rejects_pcap_plus_scenario(self, office_pcap, capsys):
+        code = main(
+            [
+                "evaluate",
+                str(office_pcap),
+                "--scenario",
+                "office-baseline",
+                "--training-s",
+                "30",
+            ]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_evaluate_pcap_requires_training_s(self, office_pcap, capsys):
+        assert main(["evaluate", str(office_pcap)]) == 2
+        assert "--training-s" in capsys.readouterr().err
+
+    def test_evaluate_rejects_unknown_scenario(self, capsys):
+        code = main(["evaluate", "--scenario", "no-such-place"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err

@@ -1,0 +1,222 @@
+"""Property tests for the evaluation-matrix value semantics.
+
+The matrix is the artifact CI and resume runs pass around, so its
+algebra must be watertight: cell order never matters, sharding a sweep
+into subsets and merging them reproduces the full matrix exactly, and
+the JSON form is lossless (floats included, bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    CellKey,
+    EvaluationMatrix,
+    MatrixCell,
+    SimulationCache,
+    run_matrix,
+)
+
+SCENARIO_NAMES = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "office-baseline"]
+)
+PARAMETER_NAMES = st.sampled_from(
+    ["rate", "size", "access", "txtime", "interarrival"]
+)
+MEASURE_NAMES = st.sampled_from(["cosine", "intersection", "chi2"])
+
+ratios = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+counts = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def matrix_cells_strategy(draw) -> list[MatrixCell]:
+    """A list of cells with unique (scenario, parameter, measure) keys."""
+    keys = draw(
+        st.sets(
+            st.tuples(SCENARIO_NAMES, PARAMETER_NAMES, MEASURE_NAMES),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    cells = []
+    for scenario, parameter, measure in sorted(keys):
+        cells.append(
+            MatrixCell(
+                scenario=scenario,
+                parameter=parameter,
+                measure=measure,
+                auc=draw(ratios),
+                identification_at_0_01=draw(ratios),
+                identification_at_0_1=draw(ratios),
+                reference_devices=draw(counts),
+                known_candidates=draw(counts),
+                total_candidates=draw(counts),
+                station_count=draw(counts),
+                frame_count=draw(counts),
+                duration_s=draw(
+                    st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
+                ),
+                seed=draw(st.integers(min_value=0, max_value=2**31)),
+                training_s=draw(
+                    st.floats(min_value=0.5, max_value=1e6, allow_nan=False)
+                ),
+                window_s=draw(
+                    st.floats(min_value=0.1, max_value=1e4, allow_nan=False)
+                ),
+                min_observations=draw(st.integers(min_value=1, max_value=500)),
+            )
+        )
+    return cells
+
+
+@given(cells=matrix_cells_strategy(), order_seed=st.randoms(use_true_random=False))
+def test_cell_order_is_irrelevant(cells, order_seed):
+    """Any insertion order produces the same matrix and payload."""
+    shuffled = list(cells)
+    order_seed.shuffle(shuffled)
+    assert EvaluationMatrix(shuffled) == EvaluationMatrix(cells)
+    assert (
+        EvaluationMatrix(shuffled).to_payload()
+        == EvaluationMatrix(cells).to_payload()
+    )
+
+
+@given(cells=matrix_cells_strategy(), assignment=st.randoms(use_true_random=False))
+def test_subset_merge_reproduces_full_matrix(cells, assignment):
+    """Arbitrary partition of the cells, merged back, equals the full
+    run — the property that makes sharded/resumed sweeps safe."""
+    full = EvaluationMatrix(cells)
+    left = [cell for cell in cells if assignment.random() < 0.5]
+    right = [cell for cell in cells if cell not in left]
+    merged = EvaluationMatrix(left).merge(EvaluationMatrix(right))
+    assert merged == full
+    assert merged.to_payload() == full.to_payload()
+
+
+@given(cells=matrix_cells_strategy())
+def test_axis_subsets_cover_the_matrix(cells):
+    """Subsetting along the scenario axis and merging the pieces back
+    is the identity."""
+    full = EvaluationMatrix(cells)
+    pieces = [
+        full.subset(scenarios=[scenario]) for scenario in full.scenarios()
+    ]
+    rebuilt = EvaluationMatrix()
+    for piece in pieces:
+        rebuilt = rebuilt.merge(piece)
+    assert rebuilt == full
+
+
+@given(cells=matrix_cells_strategy())
+def test_json_round_trip_is_lossless(cells):
+    """dump → parse → rebuild preserves every cell bit-for-bit."""
+    matrix = EvaluationMatrix(cells)
+    payload = json.loads(json.dumps(matrix.to_payload()))
+    restored = EvaluationMatrix.from_payload(payload)
+    assert restored == matrix
+    assert restored.to_payload() == matrix.to_payload()
+
+
+@given(cells=matrix_cells_strategy())
+def test_cells_are_canonically_sorted(cells):
+    matrix = EvaluationMatrix(cells)
+    keys = [(c.scenario, c.parameter, c.measure) for c in matrix.cells]
+    assert keys == sorted(keys)
+
+
+def test_conflicting_cells_refuse_to_merge():
+    base = dict(
+        scenario="s",
+        parameter="rate",
+        measure="cosine",
+        identification_at_0_01=0.1,
+        identification_at_0_1=0.2,
+        reference_devices=3,
+        known_candidates=4,
+        total_candidates=5,
+        station_count=6,
+        frame_count=7,
+        duration_s=8.0,
+        seed=9,
+        training_s=4.0,
+        window_s=1.0,
+        min_observations=2,
+    )
+    matrix = EvaluationMatrix([MatrixCell(auc=0.5, **base)])
+    # Identical re-add is a no-op ...
+    matrix.add(MatrixCell(auc=0.5, **base))
+    assert len(matrix) == 1
+    # ... a disagreeing result for the same deterministic cell is a bug.
+    with pytest.raises(ValueError, match="conflicting"):
+        matrix.add(MatrixCell(auc=0.6, **base))
+
+
+def test_run_matrix_results_are_order_independent():
+    """Running the same cells with permuted axes yields one matrix."""
+    cache = SimulationCache()
+    forward = run_matrix(
+        scenarios=["office-baseline"],
+        parameters=["rate", "size"],
+        measures=["cosine", "intersection"],
+        cache=cache,
+    )
+    backward = run_matrix(
+        scenarios=["office-baseline"],
+        parameters=["size", "rate"],
+        measures=["intersection", "cosine"],
+        cache=cache,
+    )
+    assert forward == backward
+    assert forward.to_payload() == backward.to_payload()
+
+
+def test_run_matrix_resume_skips_completed_cells(tmp_path):
+    """A resumed run adopts prior cells verbatim and only computes the
+    missing ones."""
+    cache = SimulationCache()
+    partial = run_matrix(
+        scenarios=["office-baseline"],
+        parameters=["rate"],
+        measures=["cosine"],
+        cache=cache,
+    )
+    path = partial.save(tmp_path / "BENCH_experiments.json")
+    resumed_from = EvaluationMatrix.load(path)
+
+    seen: list[tuple[CellKey, bool]] = []
+    full = run_matrix(
+        scenarios=["office-baseline"],
+        parameters=["rate", "size"],
+        measures=["cosine"],
+        cache=cache,
+        resume=resumed_from,
+        progress=lambda key, cell, cached: seen.append((key, cached)),
+    )
+    assert len(full) == 2
+    cached_flags = {key.parameter: cached for key, cached in seen}
+    assert cached_flags == {"rate": True, "size": False}
+    # The adopted cell is the prior run's cell, bit-for-bit.
+    rate_key = CellKey("office-baseline", "rate", "cosine")
+    assert full.get(rate_key) == partial.get(rate_key)
+
+
+def test_save_enriches_with_bench_schema(tmp_path):
+    cache = SimulationCache()
+    matrix = run_matrix(
+        scenarios=["office-baseline"],
+        parameters=["rate"],
+        measures=["cosine"],
+        cache=cache,
+    )
+    path = matrix.save(tmp_path / "BENCH_experiments.json")
+    payload = json.loads(path.read_text())
+    for key in ("benchmark", "smoke_mode", "python", "machine"):
+        assert key in payload, f"missing BENCH schema key {key}"
+    assert payload["benchmark"] == "experiments"
+    assert EvaluationMatrix.load(path) == matrix

@@ -1,0 +1,104 @@
+"""Golden-pinned evaluation-matrix cells.
+
+Two layers of pinning make the matrix a CI-gated correctness surface:
+
+* the **office-baseline** cells must reproduce the PR 3 golden numbers
+  (``tests/golden/evaluate_small_office.json``) *through the new
+  harness* — same scenario, same protocol, new plumbing, bit-for-bit;
+* two new scenarios (**lecture-hall**, **iot-swarm**) get their own
+  golden files across all five parameters, regenerable with::
+
+      REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_matrix.py
+
+The floats are pure float64 pipeline outputs of deterministic
+simulations; atol 1e-9 absorbs at most summation-order noise from a
+legitimate refactor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation import SimulationCache, run_matrix
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+OFFICE_GOLDEN = GOLDEN_DIR / "evaluate_small_office.json"
+PINNED_SCENARIOS = ("lecture-hall", "iot-swarm")
+
+
+@pytest.fixture(scope="module")
+def matrix_cache() -> SimulationCache:
+    """One simulation per scenario across this module's tests."""
+    return SimulationCache()
+
+
+def golden_path(scenario: str) -> Path:
+    return GOLDEN_DIR / f"matrix_{scenario.replace('-', '_')}.json"
+
+
+def test_office_baseline_reproduces_pr3_golden(matrix_cache):
+    """The original golden numbers survive the trip through the matrix
+    harness exactly — same floats, same counts."""
+    matrix = run_matrix(
+        scenarios=["office-baseline"], measures=["cosine"], cache=matrix_cache
+    )
+    golden = json.loads(OFFICE_GOLDEN.read_text())["parameters"]
+    assert {cell.parameter for cell in matrix.cells} == set(golden)
+    for cell in matrix.cells:
+        expected = golden[cell.parameter]
+        assert cell.auc == expected["auc"]
+        assert cell.identification_at_0_01 == expected["identification_at_0.01"]
+        assert cell.identification_at_0_1 == expected["identification_at_0.1"]
+        assert cell.reference_devices == expected["reference_devices"]
+        assert cell.known_candidates == expected["known_candidates"]
+        assert cell.total_candidates == expected["total_candidates"]
+
+
+@pytest.mark.parametrize("scenario", PINNED_SCENARIOS)
+def test_matrix_cells_match_golden_file(scenario, matrix_cache):
+    matrix = run_matrix(
+        scenarios=[scenario], measures=["cosine"], cache=matrix_cache
+    )
+    path = golden_path(scenario)
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        path.write_text(
+            json.dumps(matrix.to_payload(), indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"golden file regenerated at {path}")
+    golden = {
+        (raw["scenario"], raw["parameter"], raw["measure"]): raw
+        for raw in json.loads(path.read_text())["cells"]
+    }
+    produced = {
+        (cell.scenario, cell.parameter, cell.measure): cell.to_payload()
+        for cell in matrix.cells
+    }
+    assert set(produced) == set(golden), "cell grid drifted"
+    for key, expected in golden.items():
+        got = produced[key]
+        for field, value in expected.items():
+            if isinstance(value, float):
+                assert got[field] == pytest.approx(value, abs=1e-9), (
+                    f"{key} {field}: {got[field]!r} drifted from {value!r}"
+                )
+            else:
+                assert got[field] == value, (
+                    f"{key} {field}: {got[field]!r} != golden {value!r}"
+                )
+
+
+@pytest.mark.parametrize("scenario", PINNED_SCENARIOS)
+def test_golden_matrix_is_discriminative(scenario):
+    """Guard against a regenerated-but-degenerate golden file: the
+    pinned scenarios must separate devices well above chance."""
+    cells = json.loads(golden_path(scenario).read_text())["cells"]
+    assert len(cells) == 5, "expected one cell per parameter"
+    for cell in cells:
+        assert cell["measure"] == "cosine"
+        assert cell["auc"] > 0.75, f"{cell['parameter']} golden AUC suspiciously low"
+        assert cell["reference_devices"] >= 5
+        assert cell["total_candidates"] > 0

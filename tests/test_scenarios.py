@@ -1,0 +1,181 @@
+"""Scenario library: registry, eager validation, determinism.
+
+Every library scenario is a *measurement fixture*: its capture must be
+bit-identical run-to-run under its fixed seed (the golden matrix cells
+hang off that), and ``stream()`` must replay the exact ``run()`` event
+schedule (the streaming engine consumes it as a live feed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dot11.mac import MacAddress
+from repro.scenarios import build_scenario, scenario_by_name, scenario_names
+from repro.scenarios.library import scenario_preset
+from repro.simulator import CbrTraffic, Scenario, StationSpec
+from repro.traces.table import FrameTable
+
+#: Short builds are enough to pin determinism without slowing tier-1.
+DETERMINISM_DURATION_S = 30.0
+
+
+def assert_tables_identical(left: FrameTable, right: FrameTable) -> None:
+    """Bit-identical column comparison of two captures."""
+    assert left.senders == right.senders
+    assert left.ftype_keys == right.ftype_keys
+    np.testing.assert_array_equal(left.timestamp_us, right.timestamp_us)
+    np.testing.assert_array_equal(left.size, right.size)
+    np.testing.assert_array_equal(left.rate_mbps, right.rate_mbps)
+    np.testing.assert_array_equal(left.sender_idx, right.sender_idx)
+    np.testing.assert_array_equal(left.ftype_idx, right.ftype_idx)
+
+
+class TestRegistry:
+    def test_all_presets_registered(self):
+        names = scenario_names()
+        assert len(names) >= 8
+        for expected in (
+            "office-baseline",
+            "lecture-hall",
+            "iot-swarm",
+            "overlapping-bss",
+            "mac-randomizing-crowd",
+            "mobile-commuters",
+            "power-save-fleet",
+            "video-floor",
+        ):
+            assert expected in names
+
+    def test_unknown_scenario_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="office-baseline"):
+            scenario_by_name("no-such-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            scenario_preset(
+                name="office-baseline",
+                description="clash",
+                duration_s=10.0,
+                seed=1,
+            )(lambda duration_s, seed, scale: Scenario(duration_s=duration_s))
+
+    def test_metadata_is_consistent(self):
+        for name in scenario_names():
+            built = build_scenario(name)
+            meta = built.metadata
+            assert meta.name == name
+            assert meta.station_count == len(built.scenario.specs)
+            assert meta.station_count >= 2
+            assert 0 < meta.training_s < meta.duration_s
+            assert meta.window_s > 0
+            assert meta.traffic_mix, f"{name} declares no traffic"
+            assert meta.encrypted == built.scenario.encrypted
+            assert meta.ap_count == built.scenario.ap_count
+
+    def test_scale_grows_and_floors_station_count(self):
+        base = build_scenario("lecture-hall").metadata.station_count
+        assert build_scenario("lecture-hall", scale=2.0).metadata.station_count == 2 * base
+        assert build_scenario("lecture-hall", scale=0.01).metadata.station_count == 2
+
+    def test_simulate_is_memoised_per_build(self):
+        built = build_scenario("office-baseline")
+        assert built.simulate() is built.simulate()
+
+
+class TestEagerValidation:
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            build_scenario("office-baseline", duration_s=0.0)
+        with pytest.raises(ValueError, match="duration"):
+            build_scenario("office-baseline", duration_s=-5.0)
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            build_scenario("office-baseline", scale=0.0)
+
+    def test_duplicate_mac_rejected_at_add(self):
+        scenario = Scenario(duration_s=10.0)
+        mac = MacAddress.parse("02:00:00:00:00:01")
+        scenario.add_station(
+            StationSpec(name="a", profile="intel-2200bg-linux", mac=mac)
+        )
+        with pytest.raises(ValueError, match="already assigned"):
+            scenario.add_station(
+                StationSpec(name="b", profile="broadcom-4318-win", mac=mac)
+            )
+
+    def test_validate_rejects_zero_stations(self):
+        with pytest.raises(ValueError, match="no stations"):
+            Scenario(duration_s=10.0).validate()
+
+    def test_validate_rejects_duplicate_names(self):
+        scenario = Scenario(duration_s=10.0)
+        scenario.add_station(StationSpec(name="twin", profile="intel-2200bg-linux"))
+        scenario.add_station(StationSpec(name="twin", profile="broadcom-4318-win"))
+        with pytest.raises(ValueError, match="duplicate station name"):
+            scenario.validate()
+
+    def test_validate_rejects_departure_before_arrival(self):
+        scenario = Scenario(duration_s=10.0)
+        scenario.add_station(
+            StationSpec(
+                name="ghost",
+                profile="intel-2200bg-linux",
+                arrival_s=5.0,
+                departure_s=1.0,
+            )
+        )
+        with pytest.raises(ValueError, match="departure before arrival"):
+            scenario.validate()
+
+    def test_validate_rejects_negative_arrival(self):
+        scenario = Scenario(duration_s=10.0)
+        scenario.add_station(
+            StationSpec(
+                name="early", profile="intel-2200bg-linux", arrival_s=-1.0
+            )
+        )
+        with pytest.raises(ValueError, match="negative arrival"):
+            scenario.validate()
+
+    def test_every_library_preset_validates(self):
+        for name in scenario_names():
+            build_scenario(name).scenario.validate()
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_is_deterministic(name):
+    """Two builds under the fixed seed yield bit-identical captures."""
+    first = build_scenario(name, duration_s=DETERMINISM_DURATION_S).simulate()
+    second = build_scenario(name, duration_s=DETERMINISM_DURATION_S).simulate()
+    assert len(first) == len(second)
+    assert first.device_names == second.device_names
+    assert_tables_identical(first.table(), second.table())
+
+
+@pytest.mark.parametrize("name", ["office-baseline", "iot-swarm"])
+def test_stream_replays_run_event_for_event(name):
+    """``Scenario.stream()`` yields the exact ``run()`` capture."""
+    ran = build_scenario(name, duration_s=DETERMINISM_DURATION_S)
+    streamed = build_scenario(name, duration_s=DETERMINISM_DURATION_S)
+    run_captures = ran.scenario.run().captures
+    stream_captures = list(streamed.scenario.stream(chunk_s=3.0))
+    assert len(run_captures) == len(stream_captures)
+    assert_tables_identical(
+        FrameTable.from_frames(run_captures),
+        FrameTable.from_frames(stream_captures),
+    )
+    for batch, live in zip(run_captures, stream_captures):
+        assert batch.timestamp_us == live.timestamp_us
+        assert batch.frame.subtype == live.frame.subtype
+        assert batch.frame.addr2 == live.frame.addr2
+
+
+def test_mac_randomizing_crowd_uses_local_macs():
+    """The crowd preset presents locally-administered addresses only."""
+    built = build_scenario("mac-randomizing-crowd")
+    for spec in built.scenario.specs:
+        assert spec.mac is not None
+        assert spec.mac.is_locally_administered
