@@ -317,6 +317,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         StreamingSignatureBuilder,
         WindowClosed,
         WindowConfig,
+        pcap_chunk_source,
         pcap_source,
     )
 
@@ -378,10 +379,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         analyzers=analyzers,
         sinks=[console_sink],
     )
-    events_file = None
+    events_sink = None
     if args.events:
-        events_file = open(args.events, "w")
-        engine.subscribe(JsonLinesSink(events_file))
+        events_sink = JsonLinesSink.open(args.events)
+        engine.subscribe(events_sink)
     already_processed = 0
     resume_horizon_us: float | None = None
     if args.resume:
@@ -390,7 +391,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         resume_horizon_us = engine.stats.last_timestamp_us
         print(f"resumed from {args.resume} at {already_processed} frames")
     try:
-        source = pcap_source(args.pcap, skip_bad_fcs=args.skip_bad_fcs)
+        chunked = args.chunk_frames is not None
+        if chunked:
+            source = pcap_chunk_source(
+                args.pcap,
+                chunk_frames=args.chunk_frames,
+                skip_bad_fcs=args.skip_bad_fcs,
+            )
+        else:
+            source = pcap_source(args.pcap, skip_bad_fcs=args.skip_bad_fcs)
         if already_processed and resume_horizon_us is not None:
             # Crash recovery on the SAME capture: the first
             # `already_processed` frames (all at or before the snapshot's
@@ -398,19 +407,22 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             # them again and they would double-accumulate into the
             # restored open windows.  A continuation capture starts
             # past the horizon, so nothing is skipped there.
-            source = _skip_processed_frames(
-                source, already_processed, resume_horizon_us
-            )
+            skip = _skip_processed_chunks if chunked else _skip_processed_frames
+            source = skip(source, already_processed, resume_horizon_us)
         if args.checkpoint:
             # Periodic snapshots on the capture clock, one final one
             # after the last frame but BEFORE flushing — a flushed
             # engine has closed its windows early and cannot continue
             # the capture, so the checkpoint must precede it.
             last_checkpoint_us: float | None = None
-            for frame in source:
-                engine.process_frame(frame)
+            for item in source:
+                if chunked:
+                    engine.process_chunk(item)
+                    now_us = item.end_us
+                else:
+                    engine.process_frame(item)
+                    now_us = item.timestamp_us
                 if args.checkpoint_every_s is not None:
-                    now_us = frame.timestamp_us
                     if last_checkpoint_us is None:
                         last_checkpoint_us = now_us
                     elif now_us - last_checkpoint_us >= args.checkpoint_every_s * 1e6:
@@ -420,11 +432,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             print(f"checkpoint -> {args.checkpoint}")
             engine.flush()
             stats = engine.stats
+        elif chunked:
+            stats = engine.run_chunked(source)
         else:
             stats = engine.run(source)
     finally:
-        if events_file is not None:
-            events_file.close()
+        if events_sink is not None:
+            events_sink.close()
     by_type = ", ".join(
         f"{name}={count}" for name, count in sorted(stats.events_by_type.items())
     )
@@ -453,6 +467,29 @@ def _skip_processed_frames(source, count: int, horizon_us: float):
             skipped += 1
             continue
         yield frame
+
+
+def _skip_processed_chunks(chunks, count: int, horizon_us: float):
+    """Chunked counterpart of :func:`_skip_processed_frames`.
+
+    Trims the already-processed prefix off the leading
+    :class:`~repro.traces.table.FrameTable` chunks (zero-copy views),
+    applying the same at-or-before-the-horizon guard so continuation
+    captures pass through untouched.
+    """
+    remaining = count
+    for chunk in chunks:
+        if remaining:
+            eligible = int(
+                np.searchsorted(chunk.timestamp_us, horizon_us, side="right")
+            )
+            drop = min(remaining, eligible)
+            remaining -= drop
+            if drop == len(chunk):
+                continue
+            if drop:
+                chunk = chunk.slice_rows(drop, len(chunk))
+        yield chunk
 
 
 def _cmd_db_save(args: argparse.Namespace) -> int:
@@ -709,6 +746,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--resume", help="restore engine state from a checkpoint before streaming"
+    )
+    stream.add_argument(
+        "--chunk-frames",
+        type=int,
+        default=None,
+        help="ingest columnar chunks of this many frames (vectorized "
+        "fast path, identical events; default: per-frame)",
     )
     stream.add_argument("--skip-bad-fcs", action="store_true")
     stream.add_argument("--verbose", action="store_true")

@@ -135,6 +135,20 @@ class ObservationStream:
         self._previous = frame
         return produced
 
+    def push_table(
+        self, table: FrameTable, lo: int, hi: int
+    ) -> TableObservations | None:
+        """Vectorized push of chunk rows ``[lo, hi)`` (chunked streaming).
+
+        Returns the observation batch those rows contribute given the
+        stream's current state — exactly what feeding each backing
+        frame through :meth:`push` would yield, with ``positions`` in
+        the chunk's row coordinates — and advances the state past row
+        ``hi - 1``.  Returns ``None`` when no columnar fast path
+        exists, in which case callers fall back to per-frame pushes.
+        """
+        return None
+
     def export_state(self) -> dict:
         """Checkpointable state (see :mod:`repro.persistence.checkpoint`).
 
@@ -165,6 +179,22 @@ class _PerFrameStream(ObservationStream):
         if sender is None:
             return ()
         return (Observation(sender, frame.ftype_key, self._value(frame)),)
+
+    def push_table(
+        self, table: FrameTable, lo: int, hi: int
+    ) -> TableObservations | None:
+        # Pure per-frame values carry no state: the chunk slice is the
+        # whole story, and the parameter's vectorized extractor is
+        # already bit-identical to the scalar value function.
+        observed = self._parameter.observe_table(table.slice_rows(lo, hi))
+        if observed is None:
+            return None
+        return TableObservations(
+            sender_idx=observed.sender_idx,
+            ftype_idx=observed.ftype_idx,
+            values=observed.values,
+            positions=observed.positions + lo,
+        )
 
     def export_state(self) -> dict:
         return {}  # pure per-frame function: nothing to remember
@@ -202,6 +232,31 @@ class _ChannelClockStream(ObservationStream):
                 frame.sender, frame.ftype_key, self._value(frame, previous_t)
             ),
         )
+
+    def push_table(
+        self, table: FrameTable, lo: int, hi: int
+    ) -> TableObservations | None:
+        observed = self._parameter.observe_table(table.slice_rows(lo, hi))
+        if observed is None:
+            return None
+        previous_t = self._previous_t
+        self._previous_t = float(table.timestamp_us[hi - 1])
+        sender_idx = observed.sender_idx
+        ftype_idx = observed.ftype_idx
+        values = observed.values
+        positions = observed.positions + lo
+        if previous_t is not None and table.sender_idx[lo] >= 0:
+            # The slice's first row observes against the carried
+            # channel clock — the one value slice-local extraction
+            # cannot see.  Computed through the scalar value function
+            # on the backing frame, so it is the per-frame path's
+            # arithmetic by construction.
+            value = self._value(table.frame_at(lo), previous_t)
+            sender_idx = np.concatenate(([table.sender_idx[lo]], sender_idx))
+            ftype_idx = np.concatenate(([table.ftype_idx[lo]], ftype_idx))
+            values = np.concatenate(([value], values))
+            positions = np.concatenate(([lo], positions))
+        return TableObservations(sender_idx, ftype_idx, values, positions)
 
     def export_state(self) -> dict:
         return {"previous_t": self._previous_t}  # the channel clock

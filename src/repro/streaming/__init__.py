@@ -16,6 +16,13 @@ unbounded length run in bounded memory at wire speed (DESIGN.md §4):
   (:mod:`~repro.streaming.sources`), typed events out
   (:mod:`~repro.streaming.events`), with online adapters for all three
   Section VII applications (:mod:`~repro.streaming.apps`).
+
+Ingest comes in two bit-identical flavours: the per-frame reference
+path (``run``/``process_frame``) and the chunked columnar fast path
+(``run_chunked``/``process_chunk``), which consumes
+:class:`~repro.traces.table.FrameTable` chunks from the
+``*_chunk_source`` builders and scatters whole observation batches
+into the incremental histograms (DESIGN.md §8).
 """
 
 from repro.streaming.builder import StreamingSignatureBuilder
@@ -38,7 +45,15 @@ from repro.streaming.apps import (
     WindowAnalyzer,
 )
 from repro.streaming.matcher import OnlineMatcher, StreamCandidate
-from repro.streaming.sources import pcap_source, replay_source, simulation_source
+from repro.streaming.sources import (
+    pcap_chunk_source,
+    pcap_source,
+    replay_chunk_source,
+    replay_source,
+    simulation_chunk_source,
+    simulation_source,
+    table_chunks,
+)
 from repro.streaming.windows import ClosedWindow, WindowConfig, WindowManager
 
 __all__ = [
@@ -63,7 +78,11 @@ __all__ = [
     "WindowClosed",
     "WindowConfig",
     "WindowManager",
+    "pcap_chunk_source",
     "pcap_source",
+    "replay_chunk_source",
     "replay_source",
+    "simulation_chunk_source",
     "simulation_source",
+    "table_chunks",
 ]

@@ -34,6 +34,17 @@ class WindowAnalyzer:
     def on_frame(self, frame: CapturedFrame) -> None:
         """Called for every frame before windowing (optional)."""
 
+    def on_table(self, table, lo: int, hi: int) -> None:
+        """Called for every routed row span of a columnar chunk.
+
+        The default replays the span's backing frames through
+        :meth:`on_frame`, so every analyzer works unchanged under the
+        chunked engine; analyzers with a vectorizable frame hook can
+        override this with a columnar implementation.
+        """
+        for row in range(lo, hi):
+            self.on_frame(table.frame_at(row))
+
     def on_window(self, closed: ClosedWindow) -> list[StreamEvent]:
         """Called when a detection window closes; returns alert events."""
         return []

@@ -7,7 +7,12 @@ extractor and maintains per-device, per-frame-type bin counters.  With
 decay disabled the counters are *exactly* the batch builder's histogram
 counts, so :meth:`signature`/:meth:`signatures` reproduce
 :meth:`SignatureBuilder.build` bin-for-bin on the same frames
-(property-tested in ``tests/test_streaming_builder.py``).
+(property-tested in ``tests/test_streaming_builder.py``).  Chunked
+ingest (:meth:`StreamingSignatureBuilder.update_table`) accepts whole
+columnar row spans and scatters their kept observations through one
+flat ``np.bincount`` — bit-identical to per-frame :meth:`update`
+calls, including every checkpoint-visible detail
+(``tests/test_streaming_chunked.py``, DESIGN.md §8).
 
 Optional exponential decay turns the counters into a recency-weighted
 profile for long-lived accumulators (live tracking, adaptive
@@ -24,9 +29,12 @@ floats healthy.
 from __future__ import annotations
 
 import math
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.traces.table import FrameTable
 
 from repro.dot11.capture import CapturedFrame
 from repro.dot11.mac import MacAddress
@@ -100,33 +108,148 @@ class StreamingSignatureBuilder:
         if not observations:
             return 0
         kept = 0
+        now_us = frame.timestamp_us
         for observation in observations:
             index = self.bins.index(observation.value)
             if index is None:
                 continue
-            now_us = frame.timestamp_us
-            state = self._devices.get(observation.sender)
-            if state is None:
-                state = _DeviceState(now_us)
-                self._devices[observation.sender] = state
-            if self._decay_rate:
-                weight = math.exp(self._decay_rate * (now_us - state.t0_us))
-                if weight > _REBASE_AT:
-                    self._rebase(state, now_us)
-                    weight = 1.0
-            else:
-                weight = 1.0
-            counts = state.counts.get(observation.ftype_key)
-            if counts is None:
-                counts = [0.0] * self._bin_count
-                state.counts[observation.ftype_key] = counts
-                state.totals[observation.ftype_key] = 0.0
-            counts[index] += weight
-            state.totals[observation.ftype_key] += weight
-            state.last_seen_us = now_us
+            self._accumulate(observation.sender, observation.ftype_key, index, now_us)
             kept += 1
         self.observations_kept += kept
         return kept
+
+    def _accumulate(
+        self, sender: MacAddress, ftype_key: str, index: int, now_us: float
+    ) -> None:
+        """Fold one kept observation into the device's accumulators."""
+        state = self._devices.get(sender)
+        if state is None:
+            state = _DeviceState(now_us)
+            self._devices[sender] = state
+        if self._decay_rate:
+            weight = math.exp(self._decay_rate * (now_us - state.t0_us))
+            if weight > _REBASE_AT:
+                self._rebase(state, now_us)
+                weight = 1.0
+        else:
+            weight = 1.0
+        counts = state.counts.get(ftype_key)
+        if counts is None:
+            counts = [0.0] * self._bin_count
+            state.counts[ftype_key] = counts
+            state.totals[ftype_key] = 0.0
+        counts[index] += weight
+        state.totals[ftype_key] += weight
+        state.last_seen_us = now_us
+
+    def update_table(
+        self, table: "FrameTable", lo: int = 0, hi: int | None = None
+    ) -> int:
+        """Consume rows ``[lo, hi)`` of a columnar chunk (vectorized).
+
+        The chunked counterpart of feeding each backing frame through
+        :meth:`update`: observations are extracted in one
+        :meth:`~repro.core.parameters.ObservationStream.push_table`
+        pass, binned with ``index_many`` and scattered into the
+        per-device counters with one flat ``np.bincount`` — leaving
+        accumulator state (counts, totals, ``t0_us``/``last_seen_us``,
+        device and frame-type insertion order, extractor channel clock)
+        bit-identical to the per-frame path.  The channel clock carries
+        across calls, so a window spanning many chunks can be fed chunk
+        by chunk.  With decay on, the extraction is still vectorized
+        but observations are folded in one at a time so the exp/rebase
+        arithmetic matches the per-frame path exactly.  Parameters
+        without a columnar extractor fall back to per-frame updates
+        over the chunk's backing frames.
+        """
+        if hi is None:
+            hi = len(table)
+        count = hi - lo
+        if count <= 0:
+            return 0
+        pushed = self._stream.push_table(table, lo, hi)
+        if pushed is None:  # no columnar fast path: reference loop
+            kept = 0
+            for row in range(lo, hi):
+                kept += self.update(table.frame_at(row))
+            return kept
+        self.frames_seen += count
+        bin_idx = self.bins.index_many(pushed.values)
+        keep = bin_idx >= 0
+        kept = int(np.count_nonzero(keep))
+        if kept == 0:
+            return 0
+        self.observations_kept += kept
+        sender_k = pushed.sender_idx[keep]
+        ftype_k = pushed.ftype_idx[keep]
+        bin_k = bin_idx[keep]
+        stamps = table.timestamp_us[pushed.positions[keep]]
+        if self._decay_rate:
+            senders = table.senders
+            ftype_keys = table.ftype_keys
+            for code, fcode, index, now_us in zip(
+                sender_k.tolist(), ftype_k.tolist(), bin_k.tolist(), stamps.tolist()
+            ):
+                self._accumulate(senders[code], ftype_keys[fcode], index, now_us)
+            return kept
+        self._scatter(table, sender_k, ftype_k, bin_k, stamps, kept)
+        return kept
+
+    def _scatter(
+        self,
+        table: "FrameTable",
+        sender_k: np.ndarray,
+        ftype_k: np.ndarray,
+        bin_k: np.ndarray,
+        stamps: np.ndarray,
+        kept: int,
+    ) -> None:
+        """Decay-free batch fold: one bincount over (sender, ftype, bin).
+
+        Increments are unit weights, so batch-summed integer counts
+        added to the held float counters reproduce the one-at-a-time
+        additions exactly (integers are exact in float64).  Devices and
+        frame types are visited in first-kept-observation order via the
+        reversed-scatter trick (duplicate fancy-assignment indices keep
+        the last write), preserving the per-frame path's dict orders.
+        """
+        n_senders = len(table.senders)
+        n_ftypes = len(table.ftype_keys)
+        n_bins = self._bin_count
+        pair = sender_k * n_ftypes + ftype_k
+        counts = (
+            np.bincount(pair * n_bins + bin_k, minlength=n_senders * n_ftypes * n_bins)
+            .astype(np.float64)
+            .reshape(n_senders, n_ftypes, n_bins)
+        )
+        order = np.arange(kept, dtype=np.int64)
+        first_pair = np.full(n_senders * n_ftypes, kept, dtype=np.int64)
+        first_pair[pair[::-1]] = order[::-1]
+        first_pair = first_pair.reshape(n_senders, n_ftypes)
+        first_sender = first_pair.min(axis=1)
+        last_sender = np.zeros(n_senders, dtype=np.int64)
+        last_sender[sender_k] = order
+        active = np.flatnonzero(first_sender < kept).tolist()
+        active.sort(key=first_sender.__getitem__)
+        for code in active:
+            device = table.senders[code]
+            state = self._devices.get(device)
+            if state is None:
+                state = _DeviceState(float(stamps[first_sender[code]]))
+                self._devices[device] = state
+            state.last_seen_us = float(stamps[last_sender[code]])
+            present = np.flatnonzero(first_pair[code] < kept).tolist()
+            present.sort(key=first_pair[code].__getitem__)
+            for fcode in present:
+                key = table.ftype_keys[fcode]
+                batch = counts[code, fcode]
+                held = state.counts.get(key)
+                if held is None:
+                    state.counts[key] = batch.tolist()
+                    state.totals[key] = float(batch.sum())
+                else:
+                    state.counts[key] = (np.asarray(held) + batch).tolist()
+                    state.totals[key] += float(batch.sum())
 
     def _rebase(self, state: _DeviceState, now_us: float) -> None:
         """Re-anchor a device's inflated counters at ``now_us``."""

@@ -131,11 +131,52 @@ class CollectingSink:
 
 
 class JsonLinesSink:
-    """Writes one JSON object per event to a text stream."""
+    """Writes one JSON object per event to a text stream.
 
-    def __init__(self, stream: IO[str]) -> None:
+    ``flush_every=1`` (the default) flushes after every line, so an
+    alert feed tailed by another process — or inspected after a crash
+    mid-stream — always holds every emitted event; raise it to
+    amortise the flush on high-volume offline runs (``0`` leaves
+    flushing entirely to the stream).  Usable as a context manager,
+    which flushes the tail on exit; :meth:`open` builds a sink that
+    owns its file and closes it on exit too.
+    """
+
+    def __init__(self, stream: IO[str], flush_every: int = 1) -> None:
+        if flush_every < 0:
+            raise ValueError(f"flush_every must be >= 0: {flush_every}")
         self._stream = stream
+        self._flush_every = flush_every
+        self._pending = 0
+        self._owns_stream = False
+
+    @classmethod
+    def open(cls, path, flush_every: int = 1) -> "JsonLinesSink":
+        """A sink over a freshly opened file it owns (and will close)."""
+        sink = cls(open(path, "w"), flush_every=flush_every)
+        sink._owns_stream = True
+        return sink
 
     def __call__(self, event: StreamEvent) -> None:
         self._stream.write(json.dumps(event.to_dict(), sort_keys=True))
         self._stream.write("\n")
+        self._pending += 1
+        if self._flush_every and self._pending >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push buffered lines down to the underlying stream."""
+        self._pending = 0
+        self._stream.flush()
+
+    def close(self) -> None:
+        """Flush, and close the stream if this sink opened it."""
+        self.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -22,6 +22,13 @@ Window indices count *slide positions* from the stream origin, so they
 stay aligned with the batch pipeline's enumeration even when wholly
 empty stretches of the stream never open a window.
 
+Frames arrive either one at a time (:meth:`WindowManager.update`, the
+reference path) or as columnar chunks
+(:meth:`WindowManager.update_table`), which the manager cuts at window
+boundaries so each constant-open-set span routes to the open builders
+as one vectorized update — same closures, evictions, and state, in
+the same order (DESIGN.md §8).
+
 One deliberate edge diverges from the batch path: when the capture's
 *last* frame sits exactly on a window boundary, ``Trace.windows``
 (whose final window is right-closed, DESIGN.md §6) folds it into the
@@ -34,8 +41,14 @@ window split differs, and only on that measure-zero boundary case.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.traces.table import FrameTable
 
 from repro.dot11.capture import CapturedFrame
 from repro.dot11.mac import MacAddress
@@ -118,10 +131,18 @@ class WindowManager:
     ) -> None:
         self.config = config if config is not None else WindowConfig()
         self._builder_factory = builder_factory
-        self._windows: list[_OpenWindow] = []
+        # Windows open and close in index order, so a deque gives O(1)
+        # closes (popleft) instead of the former list.pop(0) front shift.
+        self._windows: deque[_OpenWindow] = deque()
         self._origin_us: float | None = None
         self._next_index = 0
         self._frames_since_sweep = 0
+        #: Prompt idle-eviction notification: called as
+        #: ``on_evict(window_index, device, sweep_t_us)`` the moment a
+        #: sweep drops a device, so live sinks see evictions when they
+        #: happen instead of at window close (``ClosedWindow.evicted``
+        #: still carries the per-window summary).
+        self.on_evict: Callable[[int, MacAddress, float], None] | None = None
 
     # ------------------------------------------------------------------
     def update(self, frame: CapturedFrame) -> list[ClosedWindow]:
@@ -147,24 +168,110 @@ class WindowManager:
             self._frames_since_sweep += 1
             if self._frames_since_sweep >= _EVICTION_SWEEP_FRAMES:
                 self._frames_since_sweep = 0
-                for window in self._windows:
-                    window.evicted.extend(
-                        window.builder.evict_idle(t, self.config.idle_timeout_s)
-                    )
+                self._sweep(t)
         return closed
+
+    def update_table(self, chunk: "FrameTable") -> Iterator[tuple]:
+        """Feed one columnar chunk; yields the chunk's event timeline.
+
+        The chunked counterpart of calling :meth:`update` per backing
+        frame: the chunk is cut at window boundaries (``searchsorted``
+        on the timestamp column) and each maximal span with a constant
+        open-window set is routed to every open builder in one
+        vectorized :meth:`StreamingSignatureBuilder.update_table` call.
+        Yields ``("closed", ClosedWindow)`` items exactly when — and in
+        the order — the per-frame path would produce them, and
+        ``("frames", lo, hi)`` items after rows ``[lo, hi)`` have been
+        routed (the engine forwards those spans to frame-level
+        analyzers).  Idle-eviction sweeps keep their per-frame cadence
+        and report through :attr:`on_evict`.
+        """
+        count = len(chunk)
+        if count == 0:
+            return
+        stamps = chunk.timestamp_us
+        if self._origin_us is None:
+            self._origin_us = float(stamps[0])
+        slide_us = self.config.effective_slide_s * 1e6
+        pos = 0
+        while pos < count:
+            t_pos = float(stamps[pos])
+            closed = self._close_until(t_pos)
+            self._open_windows_containing(t_pos)
+            # The open set stays constant until the earliest open end
+            # (windows close in index order, so it is the head's) or
+            # the next slide position, whichever a frame reaches first.
+            horizon = min(
+                self._windows[0].end_us,
+                self._origin_us + self._next_index * slide_us,
+            )
+            hi = int(np.searchsorted(stamps, horizon, side="left"))
+            if closed:
+                # Route the triggering frame before reporting the
+                # closures: the per-frame path returns its closures
+                # only after the frame has been routed, and the engine
+                # reads live state (resident_devices) at emission.
+                self._route(chunk, pos, pos + 1)
+                for window in closed:
+                    yield ("closed", window)
+                self._route(chunk, pos + 1, hi)
+            else:
+                self._route(chunk, pos, hi)
+            yield ("frames", pos, hi)
+            pos = hi
 
     def flush(self) -> list[ClosedWindow]:
         """Close every still-open window (end of stream)."""
         closed = [self._close(window) for window in self._windows]
-        self._windows = []
+        self._windows.clear()
         return closed
 
     # ------------------------------------------------------------------
     def _close_until(self, t_us: float) -> list[ClosedWindow]:
         closed: list[ClosedWindow] = []
         while self._windows and self._windows[0].end_us <= t_us:
-            closed.append(self._close(self._windows.pop(0)))
+            closed.append(self._close(self._windows.popleft()))
         return closed
+
+    def _route(self, chunk: "FrameTable", lo: int, hi: int) -> None:
+        """Route chunk rows ``[lo, hi)``, splitting at sweep points."""
+        if hi <= lo:
+            return
+        if self.config.idle_timeout_s is None:
+            self._route_span(chunk, lo, hi)
+            return
+        stamps = chunk.timestamp_us
+        while lo < hi:
+            cut = min(hi, lo + _EVICTION_SWEEP_FRAMES - self._frames_since_sweep)
+            self._route_span(chunk, lo, cut)
+            self._frames_since_sweep += cut - lo
+            if self._frames_since_sweep >= _EVICTION_SWEEP_FRAMES:
+                self._frames_since_sweep = 0
+                self._sweep(float(stamps[cut - 1]))
+            lo = cut
+
+    def _route_span(self, chunk: "FrameTable", lo: int, hi: int) -> None:
+        count = hi - lo
+        if count <= 0:
+            return
+        codes = np.unique(chunk.sender_idx[lo:hi])
+        if codes.size and codes[0] == -1:
+            codes = codes[1:]
+        senders = [chunk.senders[code] for code in codes.tolist()]
+        for window in self._windows:
+            window.frame_count += count
+            window.builder.update_table(chunk, lo, hi)
+            window.senders.update(senders)
+
+    def _sweep(self, now_us: float) -> None:
+        """One idle-eviction sweep across the open windows."""
+        for window in self._windows:
+            victims = window.builder.evict_idle(now_us, self.config.idle_timeout_s)
+            if victims:
+                window.evicted.extend(victims)
+                if self.on_evict is not None:
+                    for device in victims:
+                        self.on_evict(window.index, device, now_us)
 
     def _close(self, window: _OpenWindow) -> ClosedWindow:
         return ClosedWindow(
@@ -248,7 +355,7 @@ class WindowManager:
         self._origin_us = None if origin is None else float(origin)
         self._next_index = int(payload["next_index"])
         self._frames_since_sweep = int(payload.get("frames_since_sweep", 0))
-        self._windows = []
+        self._windows = deque()
         for entry in payload["open"]:
             window = _OpenWindow(
                 index=int(entry["index"]),

@@ -204,6 +204,48 @@ class TestEngineBehaviour:
         closed = [p for p in lines if p["event"] == "WindowClosed"]
         assert closed and all("candidate_count" in p for p in closed)
 
+    def test_jsonl_sink_flushes_every_event_by_default(self):
+        flushes = []
+
+        class SpyStream(io.StringIO):
+            def flush(self) -> None:
+                flushes.append(self.getvalue().count("\n"))
+                super().flush()
+
+        sink = JsonLinesSink(SpyStream())
+        for i in range(3):
+            sink(WindowClosed(float(i), i, 0.0, 1.0, 0, 0, 0))
+        # Default flush_every=1: every written line reaches the stream
+        # immediately (a tailing process or crash sees all of them).
+        assert flushes == [1, 2, 3]
+
+    def test_jsonl_sink_flush_every_batches(self):
+        flushes = []
+
+        class SpyStream(io.StringIO):
+            def flush(self) -> None:
+                flushes.append(self.getvalue().count("\n"))
+                super().flush()
+
+        with JsonLinesSink(SpyStream(), flush_every=3) as sink:
+            for i in range(7):
+                sink(WindowClosed(float(i), i, 0.0, 1.0, 0, 0, 0))
+        # Two batched flushes, then the context exit drains the tail.
+        assert flushes == [3, 6, 7]
+
+    def test_jsonl_sink_open_owns_and_closes_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonLinesSink.open(path, flush_every=100) as sink:
+            sink(WindowClosed(0.0, 0, 0.0, 1.0, 5, 2, 3))
+            stream = sink._stream
+        assert stream.closed
+        (line,) = path.read_text().splitlines()
+        assert json.loads(line)["event"] == "WindowClosed"
+
+    def test_jsonl_sink_rejects_negative_flush_every(self):
+        with pytest.raises(ValueError):
+            JsonLinesSink(io.StringIO(), flush_every=-1)
+
 
 class TestApplicationAdapters:
     def test_spoof_guard_matches_batch_detector(self, reference_setup):
