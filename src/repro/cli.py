@@ -30,14 +30,27 @@ simulator-produced):
 * ``repro-80211 db save|load|merge|info`` — manage persistent
   reference-database stores (versioned ``.npz`` + JSONL directories,
   :mod:`repro.persistence.store`).  ``--db`` everywhere accepts either
-  a legacy JSON file or a store directory.
+  a legacy JSON file or a store directory;
+* ``repro-80211 serve`` / ``repro-80211 sensor capture.pcap --connect
+  HOST:PORT --sensor-id s0`` — the multi-sensor ingest service
+  (DESIGN.md §9): N concurrent capture sessions stream columnar chunks
+  over the length-prefixed wire format into shard-partitioned engines
+  and one shared merged reference database, with per-sensor
+  checkpoint/resume and bounded-queue backpressure.
+
+``stream`` and ``serve`` shut down gracefully on SIGINT/SIGTERM —
+final checkpoint written, sinks flushed, then exit — and both accept
+``--stats-json PATH`` to dump their final statistics machine-readably.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import signal
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -304,6 +317,69 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
     return 0
 
 
+class _ShutdownRequest:
+    """Records the first SIGINT/SIGTERM so loops can exit gracefully."""
+
+    def __init__(self) -> None:
+        self.signum: int | None = None
+
+    @property
+    def triggered(self) -> bool:
+        return self.signum is not None
+
+    @property
+    def name(self) -> str:
+        return signal.Signals(self.signum).name if self.triggered else ""
+
+    def __call__(self, signum: int, frame: object) -> None:
+        self.signum = signum
+
+
+@contextlib.contextmanager
+def _graceful_shutdown():
+    """Catch SIGINT/SIGTERM into a flag for the duration of the block.
+
+    The long-running commands (``stream``, ``serve``) check the flag
+    between work items and wind down cleanly — final checkpoint, sinks
+    flushed — instead of dying mid-write.  Outside the main thread
+    (some test harnesses) handlers cannot be installed; the flag simply
+    never triggers there.
+    """
+    request = _ShutdownRequest()
+    previous: dict[int, object] = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, request)
+    except ValueError:
+        pass
+    try:
+        yield request
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
+def _write_stats_json(path: str, payload: dict) -> None:
+    Path(path).write_text(json.dumps(payload, sort_keys=True) + "\n")
+    print(f"stats -> {path}")
+
+
+def _stream_stats_payload(stats, interrupted: bool) -> dict:
+    """Machine-readable ``StreamStats`` for ``--stats-json``."""
+    return {
+        "frames": stats.frames,
+        "windows_closed": stats.windows_closed,
+        "candidates": stats.candidates,
+        "events": stats.events,
+        "events_by_type": dict(sorted(stats.events_by_type.items())),
+        "peak_resident_devices": stats.peak_resident_devices,
+        "duration_s": stats.duration_s,
+        "first_timestamp_us": stats.first_timestamp_us,
+        "last_timestamp_us": stats.last_timestamp_us,
+        "interrupted": interrupted,
+    }
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.streaming import (
         DeviceMatched,
@@ -319,6 +395,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         WindowConfig,
         pcap_chunk_source,
         pcap_source,
+        skip_processed_chunks,
+        skip_processed_frames,
     )
 
     database, parameter_name = load_any_database(Path(args.db))
@@ -390,6 +468,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         already_processed = engine.stats.frames
         resume_horizon_us = engine.stats.last_timestamp_us
         print(f"resumed from {args.resume} at {already_processed} frames")
+    interrupted: int | None = None
     try:
         chunked = args.chunk_frames is not None
         if chunked:
@@ -407,14 +486,14 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             # them again and they would double-accumulate into the
             # restored open windows.  A continuation capture starts
             # past the horizon, so nothing is skipped there.
-            skip = _skip_processed_chunks if chunked else _skip_processed_frames
+            skip = skip_processed_chunks if chunked else skip_processed_frames
             source = skip(source, already_processed, resume_horizon_us)
-        if args.checkpoint:
-            # Periodic snapshots on the capture clock, one final one
-            # after the last frame but BEFORE flushing — a flushed
-            # engine has closed its windows early and cannot continue
-            # the capture, so the checkpoint must precede it.
-            last_checkpoint_us: float | None = None
+        # One explicit loop for all modes, so SIGINT/SIGTERM can stop
+        # cleanly between items: final checkpoint taken, event sinks
+        # flushed, windows left OPEN (a flushed engine cannot resume,
+        # so an interrupted run must not flush).
+        last_checkpoint_us: float | None = None
+        with _graceful_shutdown() as shutdown:
             for item in source:
                 if chunked:
                     engine.process_chunk(item)
@@ -422,20 +501,30 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 else:
                     engine.process_frame(item)
                     now_us = item.timestamp_us
-                if args.checkpoint_every_s is not None:
+                if args.checkpoint and args.checkpoint_every_s is not None:
                     if last_checkpoint_us is None:
                         last_checkpoint_us = now_us
                     elif now_us - last_checkpoint_us >= args.checkpoint_every_s * 1e6:
                         engine.checkpoint(args.checkpoint)
                         last_checkpoint_us = now_us
-            engine.checkpoint(args.checkpoint)
-            print(f"checkpoint -> {args.checkpoint}")
-            engine.flush()
-            stats = engine.stats
-        elif chunked:
-            stats = engine.run_chunked(source)
-        else:
-            stats = engine.run(source)
+                if shutdown.triggered:
+                    break
+            if args.checkpoint:
+                # The final snapshot BEFORE flushing — a flushed engine
+                # has closed its windows early and cannot continue the
+                # capture, so the checkpoint must precede it.
+                engine.checkpoint(args.checkpoint)
+                print(f"checkpoint -> {args.checkpoint}")
+            if shutdown.triggered:
+                interrupted = shutdown.signum
+                print(
+                    f"interrupted ({shutdown.name}): stopped cleanly after "
+                    f"{engine.stats.frames} frames"
+                    + (", state checkpointed" if args.checkpoint else "")
+                )
+            else:
+                engine.flush()
+        stats = engine.stats
     finally:
         if events_sink is not None:
             events_sink.close()
@@ -449,47 +538,110 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     )
     if by_type:
         print(f"events: {by_type}")
-    return 0
+    if args.stats_json:
+        _write_stats_json(
+            args.stats_json,
+            _stream_stats_payload(stats, interrupted=interrupted is not None),
+        )
+    return 0 if interrupted is None else 128 + interrupted
 
 
-def _skip_processed_frames(source, count: int, horizon_us: float):
-    """Drop the ``count`` leading frames a resumed checkpoint already saw.
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import IngestServer, ServiceConfig
+    from repro.streaming import WindowConfig
 
-    Only frames at or before the checkpoint's capture clock are
-    candidates for skipping, so resuming against a *continuation*
-    capture (which starts after the horizon) passes everything through
-    while resuming against the original capture skips exactly the
-    processed prefix.
-    """
-    skipped = 0
-    for frame in source:
-        if skipped < count and frame.timestamp_us <= horizon_us:
-            skipped += 1
-            continue
-        yield frame
+    config = ServiceConfig(
+        parameter=parameter_by_name(args.parameter),
+        shard_count=args.shards,
+        window=WindowConfig(
+            window_s=args.window_s,
+            slide_s=args.slide_s,
+            idle_timeout_s=args.idle_timeout_s,
+        ),
+        min_observations=args.min_observations,
+        queue_chunks=args.queue_chunks,
+        merge_policy=args.merge_policy,
+        checkpoint_every_chunks=args.checkpoint_every_chunks,
+    )
+    server = IngestServer(config, checkpoint_dir=args.checkpoint_dir)
+    interrupted: int | None = None
+    try:
+        port = server.listen(args.host, args.port)
+        print(
+            f"listening on {args.host}:{port} "
+            f"({config.shard_count} shards, parameter={config.parameter.name})",
+            flush=True,
+        )
+        with _graceful_shutdown() as shutdown:
+            while not shutdown.triggered:
+                if args.sessions is not None:
+                    if server.wait_for_sessions(args.sessions, timeout=0.2):
+                        break
+                else:
+                    time.sleep(0.2)
+            if shutdown.triggered:
+                interrupted = shutdown.signum
+                print(
+                    f"interrupted ({shutdown.name}): draining queues, "
+                    "checkpointing sensors"
+                )
+    finally:
+        # Graceful either way: consume what already reached the queues,
+        # checkpoint every sensor, then stop the threads.
+        server.close()
+    stats = server.stats()
+    print(
+        f"served {len(stats.sensors)} sensors: {stats.frames} frames, "
+        f"{stats.frames_per_s:.0f} frames/s, peak queue depth "
+        f"{stats.queue_peak}"
+    )
+    for sensor in stats.sensors:
+        state = "completed" if sensor.completed else "paused"
+        print(
+            f"  {sensor.sensor}: {sensor.frames} frames in {sensor.chunks} "
+            f"chunks, {sensor.windows_closed} windows, {state}"
+        )
+    if args.db_out:
+        store = server.publish(args.db_out)
+        print(
+            f"published {len(server.merged_database().devices)} devices "
+            f"-> {store}"
+        )
+    if args.stats_json:
+        payload = stats.to_dict()
+        payload["interrupted"] = interrupted is not None
+        _write_stats_json(args.stats_json, payload)
+    return 0 if interrupted is None else 128 + interrupted
 
 
-def _skip_processed_chunks(chunks, count: int, horizon_us: float):
-    """Chunked counterpart of :func:`_skip_processed_frames`.
+def _cmd_sensor(args: argparse.Namespace) -> int:
+    from repro.service import SensorSession
+    from repro.streaming import pcap_chunk_source
 
-    Trims the already-processed prefix off the leading
-    :class:`~repro.traces.table.FrameTable` chunks (zero-copy views),
-    applying the same at-or-before-the-horizon guard so continuation
-    captures pass through untouched.
-    """
-    remaining = count
-    for chunk in chunks:
-        if remaining:
-            eligible = int(
-                np.searchsorted(chunk.timestamp_us, horizon_us, side="right")
-            )
-            drop = min(remaining, eligible)
-            remaining -= drop
-            if drop == len(chunk):
-                continue
-            if drop:
-                chunk = chunk.slice_rows(drop, len(chunk))
-        yield chunk
+    host, _, port_text = args.connect.rpartition(":")
+    if not port_text.isdigit():
+        print(
+            f"--connect must be HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    chunks = pcap_chunk_source(
+        args.pcap,
+        chunk_frames=args.chunk_frames,
+        skip_bad_fcs=args.skip_bad_fcs,
+    )
+    session = SensorSession(args.sensor_id, chunks)
+    report = session.connect(
+        host or "127.0.0.1",
+        int(port_text),
+        abort_after_chunks=args.abort_after_chunks,
+    )
+    suffix = "" if report.ended else " (aborted before END)"
+    print(
+        f"{report.sensor}: sent {report.frames} frames in "
+        f"{report.chunks} chunks{suffix}"
+    )
+    return 0 if report.ended else 1
 
 
 def _cmd_db_save(args: argparse.Namespace) -> int:
@@ -756,7 +908,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument("--skip-bad-fcs", action="store_true")
     stream.add_argument("--verbose", action="store_true")
+    stream.add_argument(
+        "--stats-json",
+        help="write the final stream statistics as JSON to this path",
+    )
     stream.set_defaults(func=_cmd_stream)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-sensor ingest service (sensors connect with "
+        "`repro-80211 sensor`)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0: ephemeral, printed)"
+    )
+    common(serve)
+    serve.add_argument(
+        "--shards", type=int, default=4,
+        help="consistent-hash shard engines per sensor pipeline",
+    )
+    serve.add_argument("--window-s", type=float, default=300.0)
+    serve.add_argument("--slide-s", type=float, default=None)
+    serve.add_argument("--idle-timeout-s", type=float, default=None)
+    serve.add_argument(
+        "--queue-chunks", type=int, default=8,
+        help="bounded per-sensor ingest queue (backpressure threshold)",
+    )
+    serve.add_argument(
+        "--merge-policy",
+        choices=["replace", "keep", "error"],
+        default="replace",
+        help="cross-sensor conflict policy for the shared database",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        help="checkpoint/resume sensor sessions under this directory",
+    )
+    serve.add_argument(
+        "--checkpoint-every-chunks", type=int, default=None,
+        help="additionally checkpoint a sensor every N consumed chunks",
+    )
+    serve.add_argument(
+        "--sessions", type=int, default=None,
+        help="exit after this many completed sensor sessions "
+        "(default: run until SIGINT/SIGTERM)",
+    )
+    serve.add_argument(
+        "--db-out", help="publish the merged reference database store here"
+    )
+    serve.add_argument(
+        "--stats-json",
+        help="write the final service statistics as JSON to this path",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    sensor = sub.add_parser(
+        "sensor",
+        help="stream a pcap to a running ingest service as one capture "
+        "session",
+    )
+    sensor.add_argument("pcap")
+    sensor.add_argument(
+        "--connect", required=True, help="service address as HOST:PORT"
+    )
+    sensor.add_argument(
+        "--sensor-id", required=True,
+        help="stable sensor name (also the checkpoint/resume key)",
+    )
+    sensor.add_argument("--chunk-frames", type=int, default=8192)
+    sensor.add_argument("--skip-bad-fcs", action="store_true")
+    sensor.add_argument(
+        "--abort-after-chunks", type=int, default=None,
+        help="drop the connection after N chunks without END "
+        "(crash/resume drills)",
+    )
+    sensor.set_defaults(func=_cmd_sensor)
 
     db = sub.add_parser(
         "db", help="manage persistent reference-database stores"

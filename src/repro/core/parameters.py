@@ -211,15 +211,21 @@ class _ChannelClockStream(ObservationStream):
     an observation, as in the batch extractors).
     """
 
-    __slots__ = ("_value", "_previous_t")
+    __slots__ = ("_value", "_table_value", "_previous_t")
 
     def __init__(
         self,
         parameter: NetworkParameter,
         value: "Callable[[CapturedFrame, float], float]",
+        table_value: "Callable[[FrameTable, int, float], float]",
     ) -> None:
+        """``table_value(table, row, previous_t)`` is the columnar twin
+        of ``value`` — same float64 arithmetic over the table columns,
+        so frame-less tables (wire-decoded, shard-partitioned) take the
+        fast path too."""
         super().__init__(parameter)
         self._value = value
+        self._table_value = table_value
         self._previous_t: float | None = None
 
     def push(self, frame: CapturedFrame) -> tuple[Observation, ...]:
@@ -248,10 +254,11 @@ class _ChannelClockStream(ObservationStream):
         if previous_t is not None and table.sender_idx[lo] >= 0:
             # The slice's first row observes against the carried
             # channel clock — the one value slice-local extraction
-            # cannot see.  Computed through the scalar value function
-            # on the backing frame, so it is the per-frame path's
-            # arithmetic by construction.
-            value = self._value(table.frame_at(lo), previous_t)
+            # cannot see.  Computed from the table columns (same
+            # float64 arithmetic as the scalar value function), so
+            # frame-less tables work and the result stays bit-identical
+            # to the per-frame path.
+            value = self._table_value(table, lo, previous_t)
             sender_idx = np.concatenate(([table.sender_idx[lo]], sender_idx))
             ftype_idx = np.concatenate(([table.ftype_idx[lo]], ftype_idx))
             values = np.concatenate(([value], values))
@@ -413,7 +420,11 @@ class InterArrivalTime(NetworkParameter):
 
     def online(self) -> ObservationStream:
         return _ChannelClockStream(
-            self, lambda captured, previous_t: captured.timestamp_us - previous_t
+            self,
+            lambda captured, previous_t: captured.timestamp_us - previous_t,
+            lambda table, row, previous_t: (
+                float(table.timestamp_us[row]) - previous_t
+            ),
         )
 
 
@@ -461,7 +472,11 @@ class MediumAccessTime(NetworkParameter):
             tt_i = paper_transmission_time_us(captured.size, captured.rate_mbps)
             return (captured.timestamp_us - tt_i) - previous_t
 
-        return _ChannelClockStream(self, value)
+        def table_value(table: FrameTable, row: int, previous_t: float) -> float:
+            tt_i = float(table.size[row]) * 8.0 / float(table.rate_mbps[row])
+            return (float(table.timestamp_us[row]) - tt_i) - previous_t
+
+        return _ChannelClockStream(self, value, table_value)
 
 
 #: The paper's five parameters, in its Section III order.

@@ -1,0 +1,91 @@
+"""Consistent-hash routing of columnar chunks onto ingest shards.
+
+:class:`ShardRouter` partitions each incoming
+:class:`~repro.traces.table.FrameTable` chunk across the ``K`` shard
+engines of one sensor pipeline, reusing the PR 3
+:class:`~repro.core.sharding.ConsistentHashRing` so a device lands on
+the **same shard** in the ingest service and in the sharded matching
+tier — the learnt per-shard reference databases line up with the
+query-side shard layout with no re-hashing.
+
+Routing semantics (DESIGN.md §9):
+
+* attributable rows go to exactly the shard that owns their sender's
+  MAC (a pure function of the address — stable across sensors,
+  processes and restarts);
+* unattributable rows (ACK/CTS, ``sender_idx == -1``) are **broadcast
+  to every shard**: they never produce observations, but they advance
+  the channel clock of the time-derived parameters, and every shard
+  engine keeps its own clock.
+
+Each shard's rows keep their relative order (boolean-mask selection
+preserves it), so every shard engine sees a valid non-decreasing
+capture stream.  The per-sender shard lookup is vectorized: the
+ring is consulted once per *interned sender* (cached across chunks),
+then applied to the whole ``sender_idx`` column in one take.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sharding import DEFAULT_VNODES, ConsistentHashRing
+from repro.dot11.mac import MacAddress
+from repro.traces.table import FrameTable
+
+
+class ShardRouter:
+    """Partitions columnar chunks across shard engines via the ring."""
+
+    def __init__(
+        self, shard_count: int, vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        self.ring = ConsistentHashRing(shard_count, vnodes)
+        self.shard_count = shard_count
+        self._owner_of: dict[MacAddress, int] = {}
+
+    def shard_of(self, device: MacAddress) -> int:
+        """The shard owning one device (memoised ring lookup)."""
+        owner = self._owner_of.get(device)
+        if owner is None:
+            owner = self.ring.shard_of(device)
+            self._owner_of[device] = owner
+        return owner
+
+    def partition(self, table: FrameTable) -> list[FrameTable]:
+        """Split one chunk into K per-shard tables (empty ones included).
+
+        Index ``k`` of the result holds shard ``k``'s rows: the rows
+        whose sender hashes to ``k`` plus every unattributable row, in
+        original order.  With ``K == 1`` the chunk is passed through
+        untouched (no copy).
+        """
+        if self.shard_count == 1:
+            return [table]
+        owners = np.fromiter(
+            (self.shard_of(sender) for sender in table.senders),
+            dtype=np.int64,
+            count=len(table.senders),
+        )
+        sender_idx = table.sender_idx
+        sentinel = sender_idx == -1
+        # Sentinel rows briefly pose as shard 0, then the mask ORs
+        # them into every shard.
+        row_shard = np.where(sentinel, 0, owners[sender_idx])
+        return [
+            _select(table, (row_shard == shard) | sentinel)
+            for shard in range(self.shard_count)
+        ]
+
+
+def _select(table: FrameTable, mask: np.ndarray) -> FrameTable:
+    """Mask-select rows into a standalone (frame-less) table."""
+    return FrameTable(
+        timestamp_us=table.timestamp_us[mask],
+        size=table.size[mask],
+        rate_mbps=table.rate_mbps[mask],
+        sender_idx=table.sender_idx[mask],
+        ftype_idx=table.ftype_idx[mask],
+        senders=table.senders,
+        ftype_keys=table.ftype_keys,
+    )

@@ -1,0 +1,105 @@
+"""Sensor-side capture session: chunks in, wire records out.
+
+A :class:`SensorSession` is the client half of the ingest service: it
+wraps one chunked frame source (pcap, live simulation, or replay — any
+:data:`~repro.streaming.sources.TableSource`) and serialises it onto a
+byte stream as the DESIGN.md §9 wire format:
+
+```
+HELLO {sensor, chunk_frames?}   CHUNK*   END {frames, chunks}
+```
+
+The protocol is strictly one-way — the server never talks back — so a
+session can run over any writable transport: a TCP connection
+(:meth:`SensorSession.connect`), a pipe, or a file (useful for
+record-and-replay captures).  Backpressure is the transport's: when
+the server's per-sensor ingest queue is full it stops reading, the
+socket buffers fill, and the sensor blocks in ``send`` until the
+pipeline drains — no unbounded buffering on either side.
+
+A session that dies without its END record (crash, link loss) is a
+*paused* session: the server checkpoints what it consumed, and a later
+session with the same sensor id resumes — re-send the same capture and
+the server's skip-processed trimming replays event-for-event
+identically (pinned in ``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable
+
+from repro.service.wire import (
+    RECORD_END,
+    RECORD_HELLO,
+    encode_chunk,
+    encode_json,
+)
+from repro.traces.table import FrameTable
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """What one completed (or aborted) session shipped."""
+
+    sensor: str
+    frames: int
+    chunks: int
+    #: ``False`` when the session was aborted before its END record.
+    ended: bool
+
+
+class SensorSession:
+    """Streams one sensor's chunked capture onto a wire transport."""
+
+    def __init__(
+        self, sensor: str, chunks: Iterable[FrameTable]
+    ) -> None:
+        if not sensor:
+            raise ValueError("sensor id must be non-empty")
+        self.sensor = sensor
+        self._chunks = chunks
+
+    def stream_to(
+        self,
+        writer: BinaryIO,
+        *,
+        abort_after_chunks: int | None = None,
+    ) -> SessionReport:
+        """Write the whole session onto ``writer``.
+
+        ``abort_after_chunks`` simulates a sensor crash: the session
+        stops mid-stream without its END record (tests and the
+        checkpoint/resume drill use this — a real sensor just dies).
+        """
+        writer.write(encode_json(RECORD_HELLO, {"sensor": self.sensor}))
+        frames = 0
+        chunks = 0
+        for table in self._chunks:
+            if abort_after_chunks is not None and chunks >= abort_after_chunks:
+                return SessionReport(self.sensor, frames, chunks, ended=False)
+            writer.write(encode_chunk(table))
+            frames += len(table)
+            chunks += 1
+        writer.write(encode_json(RECORD_END, {"frames": frames, "chunks": chunks}))
+        writer.flush()
+        return SessionReport(self.sensor, frames, chunks, ended=True)
+
+    def connect(
+        self,
+        host: str,
+        port: int,
+        *,
+        abort_after_chunks: int | None = None,
+    ) -> SessionReport:
+        """Stream the session to an :class:`~repro.service.server.IngestServer`
+        over TCP, then close the connection."""
+        with socket.create_connection((host, port)) as conn:
+            with conn.makefile("wb") as writer:
+                report = self.stream_to(
+                    writer, abort_after_chunks=abort_after_chunks
+                )
+            # A graceful FIN after END (or the abrupt close of an
+            # abort) is what tells the server this session is over.
+        return report

@@ -52,6 +52,8 @@ from repro.streaming.sources import (
     replay_source,
     simulation_chunk_source,
     simulation_source,
+    skip_processed_chunks,
+    skip_processed_frames,
     table_chunks,
 )
 from repro.streaming.windows import ClosedWindow, WindowConfig, WindowManager
@@ -84,5 +86,7 @@ __all__ = [
     "replay_source",
     "simulation_chunk_source",
     "simulation_source",
+    "skip_processed_chunks",
+    "skip_processed_frames",
     "table_chunks",
 ]

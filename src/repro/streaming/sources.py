@@ -103,6 +103,53 @@ def simulation_chunk_source(
     return table_chunks(scenario.stream(chunk_s=chunk_s), chunk_frames)
 
 
+def skip_processed_frames(
+    source: FrameSource, count: int, horizon_us: float
+) -> Iterator[CapturedFrame]:
+    """Drop the ``count`` leading frames a resumed checkpoint already saw.
+
+    Only frames at or before the checkpoint's capture clock
+    (``horizon_us``) are candidates for skipping, so resuming against a
+    *continuation* capture (which starts after the horizon) passes
+    everything through, while resuming against the original capture
+    skips exactly the processed prefix.
+    """
+    skipped = 0
+    for frame in source:
+        if skipped < count and frame.timestamp_us <= horizon_us:
+            skipped += 1
+            continue
+        yield frame
+
+
+def skip_processed_chunks(
+    chunks: TableSource, count: int, horizon_us: float
+) -> Iterator["FrameTable"]:
+    """Chunked counterpart of :func:`skip_processed_frames`.
+
+    Trims the already-processed prefix off the leading
+    :class:`~repro.traces.table.FrameTable` chunks (zero-copy views),
+    applying the same at-or-before-the-horizon guard so continuation
+    captures pass through untouched.  Wholly-skipped chunks are not
+    yielded at all.
+    """
+    import numpy as np
+
+    remaining = count
+    for chunk in chunks:
+        if remaining:
+            eligible = int(
+                np.searchsorted(chunk.timestamp_us, horizon_us, side="right")
+            )
+            drop = min(remaining, eligible)
+            remaining -= drop
+            if drop == len(chunk):
+                continue
+            if drop:
+                chunk = chunk.slice_rows(drop, len(chunk))
+        yield chunk
+
+
 def replay_chunk_source(
     frames: "Iterable[CapturedFrame] | FrameTable",
     chunk_frames: int = DEFAULT_CHUNK_FRAMES,
